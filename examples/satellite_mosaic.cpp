@@ -1,0 +1,79 @@
+// Satellite data processing (one of the paper's other motivating
+// applications): 2-D image tiles from two instruments — a radiance band
+// and a cloud mask — written by different ground-station software in
+// different file layouts, correlated per pixel through a join-based view.
+//
+// Demonstrates: 2-D grids (g_z = 1), mixed chunk layouts interpreted by
+// different extractors, projection + range selection over the join view,
+// and a distributed aggregation ("mean radiance of cloud-free pixels per
+// x-stripe" stand-in).
+
+#include <cstdio>
+
+#include "core/view_framework.hpp"
+#include "datagen/generator.hpp"
+
+using namespace orv;
+
+int main() {
+  DatasetSpec spec;
+  spec.grid = {128, 128, 1};   // one 128x128 scene
+  spec.part1 = {32, 32, 1};    // radiance tiles: 16 chunks, blocked writer
+  spec.part2 = {16, 16, 1};    // cloud-mask tiles: 64 chunks, column dump
+  spec.layout1 = LayoutId::BlockedRows;
+  spec.layout2 = LayoutId::ColMajor;
+  spec.extra_attrs1 = 2;       // oilp->radiance stand-ins: band values
+  spec.extra_attrs2 = 1;       // wp->cloud fraction stand-in
+  spec.table1_name = "radiance";
+  spec.table2_name = "cloud";
+  spec.num_storage_nodes = 4;
+
+  GeneratedDataset ds = generate_dataset(spec);
+  std::printf("Scene: %s\n", spec.to_string().c_str());
+  std::printf("  radiance tiles: %zu (%s layout), cloud tiles: %zu (%s "
+              "layout)\n",
+              ds.meta.num_chunks(spec.table1_id), "blocked-rows",
+              ds.meta.num_chunks(spec.table2_id), "col-major");
+
+  ViewFramework fw(std::move(ds.meta), ds.stores);
+  fw.define_view("scene",
+                 ViewDef::join(ViewDef::base(spec.table1_id),
+                               ViewDef::base(spec.table2_id), {"x", "y"}));
+
+  // Pixel-level drill-down over a region of interest: radiance where the
+  // cloud fraction is low.
+  const SubTable clear = fw.query(
+      "SELECT x, y, oilp, wp FROM scene WHERE x IN [10, 20] AND "
+      "y IN [30, 40] AND wp <= 0.2");
+  std::printf("\nClear pixels in ROI (cloud fraction <= 0.2): %zu\n",
+              clear.num_rows());
+  std::printf("%s", clear.to_string(5).c_str());
+
+  // Scene statistics through the aggregation DDS.
+  const SubTable stats = fw.query(
+      "SELECT AVG(oilp) AS mean_radiance, MIN(wp) AS min_cloud, "
+      "MAX(wp) AS max_cloud, COUNT(*) AS pixels FROM scene");
+  std::printf("\nScene statistics:\n%s", stats.to_string().c_str());
+
+  // Distributed execution of the full-scene correlation: the planner sees
+  // a small n_e * c_S and picks the Indexed Join.
+  ClusterSpec cluster;
+  cluster.num_storage = 4;
+  cluster.num_compute = 4;
+  const DistributedRun run =
+      fw.query_distributed("SELECT * FROM scene", cluster);
+  std::printf("\nDistributed correlation of the whole scene:\n");
+  std::printf("  %s\n", run.decision.to_string().c_str());
+  std::printf("  simulated: %s\n", run.qes.to_string().c_str());
+
+  // Per-stripe cloudiness, aggregated at the compute nodes.
+  SubTable stripes(Schema::make({{"tmp", AttrType::Int32}}), {});
+  fw.query_distributed(
+      "SELECT x, AVG(wp) AS cloudiness FROM scene GROUP BY x HAVING "
+      "AVG(wp) >= 0.55",
+      cluster, &stripes);
+  std::printf("\nCloudiest x-stripes (avg cloud fraction >= 0.55): %zu\n",
+              stripes.num_rows());
+  std::printf("%s", stripes.to_string(6).c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+#pragma once
+
+// Basic Data Source Service (paper Section 4).
+//
+// A BDS instance executes on a storage node and serves sub-tables for the
+// node's local chunks: it reads the chunk bytes from the local disk
+// (charged to the simulated spindle), runs the extractor that matches the
+// chunk's layout (charged to the storage node's CPU), and — when the
+// requester is a compute node — ships the sub-table across the network.
+
+#include <memory>
+#include <vector>
+
+#include "chunkio/chunk_store.hpp"
+#include "cluster/cluster.hpp"
+#include "extract/extractor.hpp"
+#include "meta/metadata.hpp"
+#include "sim/task.hpp"
+
+namespace orv {
+
+/// Per-node BDS statistics.
+struct BdsStats {
+  std::uint64_t subtables_served = 0;
+  std::uint64_t chunk_bytes_read = 0;
+  std::uint64_t subtable_bytes_shipped = 0;
+};
+
+class BdsInstance {
+ public:
+  /// `extract_ops_per_byte` models extractor CPU cost; the paper assumes it
+  /// is much less than the chunk's I/O cost, which holds for the default.
+  BdsInstance(Cluster& cluster, std::size_t storage_node,
+              const MetaDataService& meta,
+              std::shared_ptr<const ChunkStore> store,
+              double extract_ops_per_byte = 1.0);
+
+  std::size_t node() const { return node_; }
+  const BdsStats& stats() const { return stats_; }
+
+  /// Produces the basic sub-table (i, j) locally: disk read + extraction.
+  /// The chunk must live on this node.
+  sim::Task<std::shared_ptr<const SubTable>> produce(SubTableId id);
+
+  /// produce() followed by a network transfer of the sub-table's bytes to
+  /// the given compute node. If `ranges` is non-null and non-empty, the
+  /// record-level selection is pushed down: rows are filtered *at the
+  /// storage node* and only survivors cross the network (an extension the
+  /// extractor layer enables; the paper filters at the compute side).
+  sim::Task<std::shared_ptr<const SubTable>> fetch_to_compute(
+      SubTableId id, std::size_t compute_node,
+      const std::vector<AttrRange>* ranges = nullptr);
+
+ private:
+  Cluster& cluster_;
+  std::size_t node_;
+  const MetaDataService& meta_;
+  std::shared_ptr<const ChunkStore> store_;
+  double extract_ops_per_byte_;
+  BdsStats stats_;
+};
+
+/// All BDS instances of a dataset's storage nodes.
+class BdsService {
+ public:
+  BdsService(Cluster& cluster, const MetaDataService& meta,
+             std::vector<std::shared_ptr<ChunkStore>> stores,
+             double extract_ops_per_byte = 1.0);
+
+  BdsInstance& instance(std::size_t storage_node);
+
+  /// The instance hosting sub-table `id`'s chunk.
+  BdsInstance& instance_for(SubTableId id);
+
+  std::size_t num_instances() const { return instances_.size(); }
+
+  BdsStats total_stats() const;
+
+ private:
+  const MetaDataService& meta_;
+  std::vector<std::unique_ptr<BdsInstance>> instances_;
+};
+
+}  // namespace orv

@@ -1,0 +1,92 @@
+#include "cache/caching_service.hpp"
+
+#include "common/error.hpp"
+
+namespace orv {
+
+CachingService::CachingService(std::uint64_t capacity_bytes,
+                               CachePolicy policy)
+    : capacity_bytes_(capacity_bytes), policy_(policy) {
+  ORV_REQUIRE(capacity_bytes > 0, "cache capacity must be positive");
+}
+
+std::shared_ptr<const SubTable> CachingService::get(SubTableId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (policy_ == CachePolicy::LRU) {
+    order_.splice(order_.end(), order_, it->second);  // refresh recency
+  }
+  return it->second->table;
+}
+
+std::shared_ptr<const BuiltHashTable> CachingService::get_hash_table(
+    SubTableId id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return nullptr;
+  return it->second->hash_table;
+}
+
+void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
+  ORV_REQUIRE(table != nullptr, "cannot cache a null sub-table");
+  ++stats_.puts;
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    // Replace in place, adjusting accounting.
+    used_bytes_ -= it->second->bytes();
+    it->second->table = std::move(table);
+    used_bytes_ += it->second->bytes();
+    if (policy_ == CachePolicy::LRU) {
+      order_.splice(order_.end(), order_, it->second);
+    }
+    evict_until_fits(0);
+    return;
+  }
+  Entry entry;
+  entry.id = id;
+  entry.table = std::move(table);
+  const std::uint64_t incoming = entry.bytes();
+  evict_until_fits(incoming);
+  order_.push_back(std::move(entry));
+  map_[id] = std::prev(order_.end());
+  used_bytes_ += incoming;
+}
+
+void CachingService::attach_hash_table(
+    SubTableId id, std::shared_ptr<const BuiltHashTable> ht) {
+  auto it = map_.find(id);
+  if (it == map_.end()) return;  // entry already evicted; drop silently
+  used_bytes_ -= it->second->bytes();
+  it->second->hash_table = std::move(ht);
+  used_bytes_ += it->second->bytes();
+  evict_until_fits(0);
+}
+
+void CachingService::evict_until_fits(std::uint64_t incoming_bytes) {
+  // Never evict the entry being inserted; stop when the cache is empty even
+  // if a single huge entry exceeds capacity.
+  while (!order_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
+    evict_one();
+  }
+}
+
+void CachingService::evict_one() {
+  ORV_CHECK(!order_.empty(), "evict from an empty cache");
+  Entry& victim = order_.front();
+  ++stats_.evictions;
+  stats_.bytes_evicted += victim.bytes();
+  used_bytes_ -= victim.bytes();
+  map_.erase(victim.id);
+  order_.pop_front();
+}
+
+void CachingService::clear() {
+  order_.clear();
+  map_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace orv

@@ -1,0 +1,89 @@
+#pragma once
+
+// Caching Service (paper Section 4): per-compute-node cache of recently
+// accessed sub-tables, used by QES instances to avoid re-fetching from BDS
+// instances. Policy is LRU by default (the paper's choice); FIFO is
+// provided for the scheduling/caching ablation benches.
+//
+// Entries may carry the hash table built on a left sub-table, so the
+// Indexed Join builds each hash table only once (paper Section 5.1).
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "join/hash_join.hpp"
+#include "subtable/subtable.hpp"
+
+namespace orv {
+
+enum class CachePolicy { LRU, FIFO };
+
+class CachingService {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes_evicted = 0;
+    std::uint64_t puts = 0;
+
+    double hit_rate() const {
+      const auto total = hits + misses;
+      return total ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  explicit CachingService(std::uint64_t capacity_bytes,
+                          CachePolicy policy = CachePolicy::LRU);
+
+  /// Looks up a sub-table; on a hit, refreshes recency (LRU).
+  std::shared_ptr<const SubTable> get(SubTableId id);
+
+  /// Hash table built for a cached left sub-table, if present.
+  std::shared_ptr<const BuiltHashTable> get_hash_table(SubTableId id);
+
+  /// Inserts a sub-table, evicting per policy if over capacity. An entry
+  /// larger than the whole capacity is admitted alone (and evicts
+  /// everything else): the QES must be able to process it regardless.
+  void put(SubTableId id, std::shared_ptr<const SubTable> table);
+
+  /// Attaches a built hash table to an existing entry (no-op if the entry
+  /// was evicted in between); its bytes count against capacity.
+  void attach_hash_table(SubTableId id,
+                         std::shared_ptr<const BuiltHashTable> ht);
+
+  bool contains(SubTableId id) const { return map_.count(id) > 0; }
+  std::size_t num_entries() const { return map_.size(); }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    SubTableId id;
+    std::shared_ptr<const SubTable> table;
+    std::shared_ptr<const BuiltHashTable> hash_table;
+
+    std::uint64_t bytes() const {
+      return table->size_bytes() + (hash_table ? hash_table->table_bytes() : 0);
+    }
+  };
+
+  void evict_until_fits(std::uint64_t incoming_bytes);
+  void evict_one();
+
+  std::uint64_t capacity_bytes_;
+  CachePolicy policy_;
+  std::uint64_t used_bytes_ = 0;
+  // Recency list: front = next eviction victim.
+  std::list<Entry> order_;
+  std::unordered_map<SubTableId, std::list<Entry>::iterator, SubTableIdHash>
+      map_;
+  Stats stats_;
+};
+
+}  // namespace orv

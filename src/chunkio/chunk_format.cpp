@@ -1,0 +1,88 @@
+#include "chunkio/chunk_format.hpp"
+
+#include "common/error.hpp"
+
+namespace orv {
+
+std::vector<std::byte> encode_chunk(const ChunkHeader& header,
+                                    std::span<const std::byte> payload) {
+  ORV_REQUIRE(payload.size() == header.payload_size,
+              "payload size disagrees with header");
+  ByteWriter w;
+  w.put_u32(kChunkMagic);
+  w.put_u16(kChunkVersion);
+  w.put_u16(static_cast<std::uint16_t>(header.layout));
+  w.put_u32(header.table);
+  w.put_u32(header.chunk);
+  w.put_u64(header.num_rows);
+  header.schema.serialize(w);
+  header.bounds.serialize(w);
+  w.put_u64(header.payload_size);
+  const std::uint32_t header_crc = crc32(w.bytes());
+  w.put_u32(header_crc);
+  w.put_bytes(payload);
+  w.put_u32(crc32(payload));
+  return w.take();
+}
+
+ChunkHeader decode_chunk_header(std::span<const std::byte> chunk_bytes,
+                                std::size_t* payload_offset) {
+  ByteReader r(chunk_bytes);
+  ChunkHeader h;
+  try {
+    const std::uint32_t magic = r.get_u32();
+    if (magic != kChunkMagic) {
+      throw FormatError("bad chunk magic: not an ORV chunk");
+    }
+    const std::uint16_t version = r.get_u16();
+    if (version != kChunkVersion) {
+      throw FormatError("unsupported chunk version " + std::to_string(version));
+    }
+    const std::uint16_t layout = r.get_u16();
+    if (layout > static_cast<std::uint16_t>(LayoutId::BlockedRows)) {
+      throw FormatError("unknown chunk layout id " + std::to_string(layout));
+    }
+    h.layout = static_cast<LayoutId>(layout);
+    h.table = r.get_u32();
+    h.chunk = r.get_u32();
+    h.num_rows = r.get_u64();
+    h.schema = Schema::deserialize(r);
+    h.bounds = Rect::deserialize(r);
+    h.payload_size = r.get_u64();
+    const std::size_t crc_pos = r.position();
+    const std::uint32_t stored_crc = r.get_u32();
+    const std::uint32_t actual_crc = crc32(chunk_bytes.subspan(0, crc_pos));
+    if (stored_crc != actual_crc) {
+      throw FormatError("chunk header CRC mismatch");
+    }
+    if (payload_offset != nullptr) *payload_offset = r.position();
+  } catch (const FormatError&) {
+    throw;
+  } catch (const Error& e) {
+    throw FormatError(std::string("truncated chunk header: ") + e.what());
+  }
+  if (h.bounds.dims() != h.schema.num_attrs()) {
+    throw FormatError("chunk bounds dimension disagrees with schema");
+  }
+  if (h.num_rows * h.schema.record_size() != h.payload_size) {
+    throw FormatError("chunk payload size disagrees with row count");
+  }
+  return h;
+}
+
+std::span<const std::byte> chunk_payload(
+    std::span<const std::byte> chunk_bytes, const ChunkHeader& header,
+    std::size_t payload_offset) {
+  if (chunk_bytes.size() < payload_offset + header.payload_size + 4) {
+    throw FormatError("chunk truncated: payload + CRC missing");
+  }
+  auto payload = chunk_bytes.subspan(payload_offset, header.payload_size);
+  ByteReader r(chunk_bytes.subspan(payload_offset + header.payload_size, 4));
+  const std::uint32_t stored = r.get_u32();
+  if (stored != crc32(payload)) {
+    throw FormatError("chunk payload CRC mismatch");
+  }
+  return payload;
+}
+
+}  // namespace orv

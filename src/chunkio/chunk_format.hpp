@@ -1,0 +1,62 @@
+#pragma once
+
+// The on-disk chunk format.
+//
+// A chunk is the smallest unit of retrieval from the storage system: a
+// contiguous file segment holding one sub-table's worth of records in an
+// application-specific payload layout, preceded by a self-describing header
+// and followed by a payload CRC. Different simulation codes write different
+// layouts; the layout id in the header selects the extractor that can parse
+// the payload (see src/extract).
+
+#include <cstdint>
+#include <vector>
+
+#include "schema/schema.hpp"
+#include "subtable/bounds.hpp"
+#include "subtable/subtable.hpp"
+
+namespace orv {
+
+/// Payload arrangement written by the (simulated) application code.
+enum class LayoutId : std::uint16_t {
+  /// Packed records, row after row — what a C struct dump produces.
+  RowMajor = 0,
+  /// All values of attribute 0, then attribute 1, ... — a column dump.
+  ColMajor = 1,
+  /// Rows grouped in fixed-size blocks; column-major inside each block —
+  /// what a buffered writer with per-variable buffers produces.
+  BlockedRows = 2,
+};
+
+inline constexpr std::uint32_t kChunkMagic = 0x4352564fu;  // "ORVC" LE
+inline constexpr std::uint16_t kChunkVersion = 1;
+inline constexpr std::size_t kBlockedRowsBlock = 64;
+
+/// Self-describing chunk header (fixed logical fields, variable-size schema).
+struct ChunkHeader {
+  LayoutId layout = LayoutId::RowMajor;
+  TableId table = 0;
+  ChunkId chunk = 0;
+  std::uint64_t num_rows = 0;
+  Schema schema{std::vector<Attribute>{{"_", AttrType::Int32}}};
+  Rect bounds;
+  std::uint64_t payload_size = 0;
+};
+
+/// Serializes a full chunk (header + layout-encoded payload + payload CRC).
+/// `payload` must already be in the layout named by `header.layout`.
+std::vector<std::byte> encode_chunk(const ChunkHeader& header,
+                                    std::span<const std::byte> payload);
+
+/// Parses and validates the header; returns it plus the offset of the
+/// payload within `chunk_bytes`. Throws FormatError on any corruption.
+ChunkHeader decode_chunk_header(std::span<const std::byte> chunk_bytes,
+                                std::size_t* payload_offset);
+
+/// Returns the payload span after validating the trailing CRC.
+std::span<const std::byte> chunk_payload(
+    std::span<const std::byte> chunk_bytes, const ChunkHeader& header,
+    std::size_t payload_offset);
+
+}  // namespace orv

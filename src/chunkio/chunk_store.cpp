@@ -1,0 +1,99 @@
+#include "chunkio/chunk_store.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+std::string ChunkLocation::to_string() const {
+  return strformat("node%u:file%u@%llu+%llu", storage_node, file_no,
+                   static_cast<unsigned long long>(offset),
+                   static_cast<unsigned long long>(size));
+}
+
+std::vector<std::byte> MemoryChunkStore::read(const ChunkLocation& loc) const {
+  auto it = files_.find(loc.file_no);
+  if (it == files_.end()) {
+    throw NotFound("no file " + std::to_string(loc.file_no) +
+                   " in memory chunk store");
+  }
+  const auto& buf = it->second;
+  if (loc.offset + loc.size > buf.size()) {
+    throw IoError("chunk read out of bounds: " + loc.to_string());
+  }
+  return {buf.begin() + static_cast<std::ptrdiff_t>(loc.offset),
+          buf.begin() + static_cast<std::ptrdiff_t>(loc.offset + loc.size)};
+}
+
+ChunkLocation MemoryChunkStore::append(std::uint32_t file_no,
+                                       std::span<const std::byte> bytes) {
+  auto& buf = files_[file_no];
+  ChunkLocation loc;
+  loc.file_no = file_no;
+  loc.offset = buf.size();
+  loc.size = bytes.size();
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+  return loc;
+}
+
+std::uint64_t MemoryChunkStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [no, buf] : files_) total += buf.size();
+  return total;
+}
+
+FileChunkStore::FileChunkStore(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+std::filesystem::path FileChunkStore::file_path(std::uint32_t file_no) const {
+  return root_ / ("chunks_" + std::to_string(file_no) + ".orv");
+}
+
+std::vector<std::byte> FileChunkStore::read(const ChunkLocation& loc) const {
+  std::ifstream in(file_path(loc.file_no), std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open " + file_path(loc.file_no).string());
+  }
+  in.seekg(static_cast<std::streamoff>(loc.offset));
+  std::vector<std::byte> out(loc.size);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(loc.size));
+  if (static_cast<std::uint64_t>(in.gcount()) != loc.size) {
+    throw IoError("short read for chunk " + loc.to_string());
+  }
+  return out;
+}
+
+ChunkLocation FileChunkStore::append(std::uint32_t file_no,
+                                     std::span<const std::byte> bytes) {
+  const auto path = file_path(file_no);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw IoError("cannot open " + path.string() + " for append");
+  }
+  out.seekp(0, std::ios::end);
+  ChunkLocation loc;
+  loc.file_no = file_no;
+  loc.offset = static_cast<std::uint64_t>(out.tellp());
+  loc.size = bytes.size();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw IoError("short write to " + path.string());
+  }
+  return loc;
+}
+
+std::uint64_t FileChunkStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(root_)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+}  // namespace orv

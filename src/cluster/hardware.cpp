@@ -1,0 +1,27 @@
+#include "cluster/hardware.hpp"
+
+#include "common/strings.hpp"
+
+namespace orv {
+
+HardwareProfile HardwareProfile::modern() {
+  HardwareProfile hw;
+  hw.cpu_ops_per_sec = 30e9;
+  hw.disk_read_bw = mbytes_per_sec(200.0);
+  hw.disk_write_bw = mbytes_per_sec(180.0);
+  hw.nic_bw = mbits_per_sec(10000.0);
+  hw.switch_bw = mbits_per_sec(100000.0);
+  hw.memory_bytes = 64ull * kGiB;
+  return hw;
+}
+
+std::string HardwareProfile::to_string() const {
+  return strformat(
+      "cpu=%.0fMops/s disk(r/w)=%.0f/%.0fMB/s nic=%.0fMb/s switch=%.0fMb/s "
+      "mem=%s",
+      cpu_ops_per_sec / 1e6, disk_read_bw / 1e6, disk_write_bw / 1e6,
+      nic_bw * 8 / 1e6, switch_bw * 8 / 1e6,
+      human_bytes(memory_bytes).c_str());
+}
+
+}  // namespace orv

@@ -1,0 +1,58 @@
+#pragma once
+
+// Hardware profiles for the simulated coupled storage/compute cluster.
+//
+// The paper's testbed: PIII 933 MHz nodes, 512 MB RAM, three 100 GB IDE
+// disks each, switched Fast Ethernet, up to 10 nodes. paper_2006() encodes
+// that configuration; modern() encodes a contemporary node to exercise the
+// paper's Section 6.2 claim that growing CPU-vs-I/O ratios favour IJ.
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace orv {
+
+struct HardwareProfile {
+  /// CPU rate in "operations"/second (the paper's F). The per-tuple costs
+  /// alpha_build = gamma1/F and alpha_lookup = gamma2/F derive from it.
+  double cpu_ops_per_sec = 933e6;
+
+  /// Operations per hash-table insert / probe (gamma1, gamma2).
+  double gamma_build = 150.0;
+  double gamma_lookup = 120.0;
+
+  /// Operations per tuple folded into an aggregation accumulator (the
+  /// aggregation-DDS extension).
+  double gamma_aggregate = 60.0;
+
+  double disk_read_bw = mbytes_per_sec(35.0);   // bytes/s
+  double disk_write_bw = mbytes_per_sec(30.0);  // bytes/s
+  double disk_seek = 0.0;  // s per I/O op; sequential chunk I/O dominates
+
+  /// Head-thrash penalty on a *shared* file server when it switches
+  /// between reading and writing or between different nodes' bucket-write
+  /// streams (Fig. 9). IDE-era seek + rotational latency.
+  double shared_stream_switch_seek = 0.009;
+
+  double nic_bw = mbits_per_sec(100.0);     // Fast Ethernet per node
+  double switch_bw = mbits_per_sec(1000.0); // aggregate backplane
+
+  std::uint64_t memory_bytes = 512ull * kMiB;
+
+  /// Derived per-tuple CPU costs (paper Table 1).
+  double alpha_build() const { return gamma_build / cpu_ops_per_sec; }
+  double alpha_lookup() const { return gamma_lookup / cpu_ops_per_sec; }
+
+  /// The paper's 2006 testbed (defaults above).
+  static HardwareProfile paper_2006() { return HardwareProfile{}; }
+
+  /// A contemporary node: ~30x CPU, ~6x disk, 10 GbE. The CPU/I/O ratio
+  /// shift the paper anticipates in Section 6.2.
+  static HardwareProfile modern();
+
+  std::string to_string() const;
+};
+
+}  // namespace orv

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace orv::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line << ": "
+     << msg;
+  if (kind[0] == 'p') throw InvalidArgument(os.str());
+  throw Error(os.str());
+}
+
+}  // namespace orv::detail

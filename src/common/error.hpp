@@ -1,0 +1,69 @@
+#pragma once
+
+// Error handling for the orv library.
+//
+// The library reports unrecoverable misuse and I/O failures via exceptions
+// derived from orv::Error. The ORV_REQUIRE / ORV_CHECK macros attach the
+// failing expression and source location to the message.
+
+#include <stdexcept>
+#include <string>
+
+namespace orv {
+
+/// Base class of every exception thrown by the orv library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument or configuration value is invalid.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on file-format violations (bad magic, CRC mismatch, truncation).
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on operating-system I/O failures.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup (table, view, chunk, attribute, ...) fails.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace orv
+
+/// Validates a precondition on user-supplied input; throws InvalidArgument.
+#define ORV_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::orv::detail::throw_check_failure("precondition", #expr, __FILE__,  \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)
+
+/// Validates an internal invariant; throws Error. Enabled in all builds —
+/// the cost is negligible next to the I/O this library models.
+#define ORV_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::orv::detail::throw_check_failure("invariant", #expr, __FILE__,     \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,12 @@
+#include "common/hash.hpp"
+
+namespace orv {
+
+std::uint64_t hash_lanes(std::span<const std::uint64_t> lanes,
+                         std::uint64_t salt) {
+  std::uint64_t h = mix64(salt ^ 0x243f6a8885a308d3ull);
+  for (std::uint64_t lane : lanes) h = hash_combine(h, lane);
+  return h;
+}
+
+}  // namespace orv

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace orv::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+void emit(Level lvl, const std::string& message) {
+  if (lvl < g_level.load()) return;
+  std::fprintf(stderr, "[orv %s] %s\n", name(lvl), message.c_str());
+}
+
+}  // namespace orv::log

@@ -1,0 +1,42 @@
+#pragma once
+
+// Minimal leveled logger. Off (Warn) by default so tests and benches stay
+// quiet; examples raise the level for narration.
+
+#include <sstream>
+#include <string>
+
+namespace orv::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emits a message to stderr if `lvl` passes the threshold.
+void emit(Level lvl, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(Level lvl) : lvl_(lvl) {}
+  ~LineLogger() { emit(lvl_, os_.str()); }
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace orv::log
+
+#define ORV_LOG(lvl)                                         \
+  if (::orv::log::level() > ::orv::log::Level::lvl) {        \
+  } else                                                     \
+    ::orv::log::detail::LineLogger(::orv::log::Level::lvl)

@@ -1,0 +1,25 @@
+#include "common/prng.hpp"
+
+#include "common/error.hpp"
+
+namespace orv {
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) {
+  ORV_REQUIRE(bound > 0, "below() needs a positive bound");
+  // Lemire's method: multiply into a 128-bit product; reject the small
+  // biased region at the bottom.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace orv

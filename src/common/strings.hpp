@@ -1,0 +1,29 @@
+#pragma once
+
+// Small string-formatting helpers (g++ 12 lacks <format>).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orv {
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.5 GiB", "512 B", ... for human-readable sizes.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-point seconds with ms precision: "12.345 s".
+std::string human_seconds(double seconds);
+
+/// Splits on a delimiter; empty fields preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(const std::string& a, const std::string& b);
+
+}  // namespace orv

@@ -1,0 +1,57 @@
+#include "common/tempdir.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace orv {
+
+namespace {
+std::atomic<std::uint64_t> g_counter{0};
+}
+
+TempDir::TempDir(const std::string& tag) {
+  const auto base = std::filesystem::temp_directory_path();
+  std::random_device rd;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto name = tag + "-" + std::to_string(::getpid()) + "-" +
+                      std::to_string(g_counter.fetch_add(1)) + "-" +
+                      std::to_string(rd() & 0xffffffu);
+    auto candidate = base / name;
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw IoError("failed to create a temporary directory under " +
+                base.string());
+}
+
+TempDir::TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    remove();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { remove(); }
+
+void TempDir::remove() noexcept {
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+    path_.clear();
+  }
+}
+
+}  // namespace orv

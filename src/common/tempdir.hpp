@@ -1,0 +1,36 @@
+#pragma once
+
+// RAII temporary directory, used by tests, examples and file-backed chunk
+// stores. The directory and its contents are removed on destruction.
+
+#include <filesystem>
+#include <string>
+
+namespace orv {
+
+class TempDir {
+ public:
+  /// Creates a fresh directory under the system temp path. `tag` is embedded
+  /// in the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "orv");
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+  ~TempDir();
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Path of a file inside this directory.
+  std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+ private:
+  void remove() noexcept;
+
+  std::filesystem::path path_;
+};
+
+}  // namespace orv

@@ -1,0 +1,53 @@
+#pragma once
+
+// Minimal blocking fork-join thread pool for the parallel local executor.
+//
+// parallel_for(n, fn) runs fn(0..n-1) across the workers plus the calling
+// thread and returns when every index has completed. Exceptions from fn
+// are captured and rethrown (first one wins) on the calling thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orv {
+
+class ThreadPool {
+ public:
+  /// `threads` = total worker count; 0 picks hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n); blocks until all complete.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  // Current job state (guarded by mutex_ for control fields).
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::size_t job_size_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  std::size_t next_index_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t workers_active_ = 0;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace orv

@@ -1,0 +1,20 @@
+#pragma once
+
+// Byte-size and bandwidth unit helpers. All bandwidths in the library are
+// bytes per (virtual) second; all sizes are bytes.
+
+#include <cstdint>
+
+namespace orv {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// Converts megabits per second (network spec sheets) to bytes per second.
+constexpr double mbits_per_sec(double mbit) { return mbit * 1e6 / 8.0; }
+
+/// Converts megabytes per second (disk spec sheets) to bytes per second.
+constexpr double mbytes_per_sec(double mb) { return mb * 1e6; }
+
+}  // namespace orv

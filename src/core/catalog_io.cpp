@@ -1,0 +1,93 @@
+#include "core/catalog_io.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+namespace {
+constexpr std::uint32_t kCatalogMagic = 0x4d52564fu;  // "ORVM" LE
+constexpr std::uint16_t kCatalogVersion = 1;
+constexpr const char* kCatalogFile = "catalog.orvm";
+}  // namespace
+
+void save_catalog(const MetaDataService& meta,
+                  const std::filesystem::path& root) {
+  std::filesystem::create_directories(root);
+  ByteWriter w;
+  w.put_u32(kCatalogMagic);
+  w.put_u16(kCatalogVersion);
+  meta.serialize(w);
+  const std::uint32_t crc = crc32(w.bytes());
+  w.put_u32(crc);
+
+  const auto path = root / kCatalogFile;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot write catalog " + path.string());
+  const auto bytes = w.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw IoError("short write to catalog " + path.string());
+}
+
+MetaDataService load_catalog(const std::filesystem::path& root) {
+  const auto path = root / kCatalogFile;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open catalog " + path.string());
+  const auto size = std::filesystem::file_size(path);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::uintmax_t>(in.gcount()) != size) {
+    throw IoError("short read of catalog " + path.string());
+  }
+  if (bytes.size() < 10) throw FormatError("catalog truncated");
+
+  ByteReader trailer(
+      std::span<const std::byte>(bytes).subspan(bytes.size() - 4));
+  const std::uint32_t stored_crc = trailer.get_u32();
+  const auto body = std::span<const std::byte>(bytes).first(bytes.size() - 4);
+  if (stored_crc != crc32(body)) {
+    throw FormatError("catalog CRC mismatch: " + path.string());
+  }
+
+  ByteReader r(body);
+  if (r.get_u32() != kCatalogMagic) {
+    throw FormatError("not an orv catalog: " + path.string());
+  }
+  const auto version = r.get_u16();
+  if (version != kCatalogVersion) {
+    throw FormatError("unsupported catalog version " +
+                      std::to_string(version));
+  }
+  return MetaDataService::deserialize(r);
+}
+
+ViewFramework open_dataset_dir(const std::filesystem::path& root) {
+  MetaDataService meta = load_catalog(root);
+
+  // Node count = 1 + max storage node referenced by any chunk.
+  std::uint32_t max_node = 0;
+  bool any = false;
+  for (const TableId t : meta.table_ids()) {
+    for (const auto& cm : meta.chunks(t)) {
+      max_node = std::max(max_node, cm.location.storage_node);
+      any = true;
+    }
+  }
+  ORV_REQUIRE(any, "catalog has no chunks; nothing to open");
+
+  std::vector<std::shared_ptr<ChunkStore>> stores;
+  for (std::uint32_t i = 0; i <= max_node; ++i) {
+    const auto node_dir = root / strformat("node%u", i);
+    if (!std::filesystem::is_directory(node_dir)) {
+      throw IoError("dataset directory missing " + node_dir.string());
+    }
+    stores.push_back(std::make_shared<FileChunkStore>(node_dir));
+  }
+  return ViewFramework(std::move(meta), std::move(stores));
+}
+
+}  // namespace orv

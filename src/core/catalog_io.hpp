@@ -1,0 +1,31 @@
+#pragma once
+
+// Catalog persistence: the MetaData Service "may also be used by other
+// services to store persistent information" (paper Section 4). A dataset
+// directory is self-describing:
+//
+//   <root>/catalog.orvm     serialized MetaDataService (+ format header)
+//   <root>/node<i>/...      each storage node's chunk files
+//
+// so a session can re-open a dataset without re-scanning or re-generating
+// anything.
+
+#include <filesystem>
+
+#include "core/view_framework.hpp"
+
+namespace orv {
+
+/// Writes the catalog file for a dataset rooted at `root`.
+void save_catalog(const MetaDataService& meta,
+                  const std::filesystem::path& root);
+
+/// Loads the catalog file from a dataset root.
+MetaDataService load_catalog(const std::filesystem::path& root);
+
+/// Opens a dataset directory produced by generate_dataset(spec, root) (or
+/// by save_catalog over custom stores): loads the catalog and attaches
+/// one FileChunkStore per node directory.
+ViewFramework open_dataset_dir(const std::filesystem::path& root);
+
+}  // namespace orv

@@ -1,0 +1,121 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+CostParams CostParams::from(const ClusterSpec& cluster,
+                            const ConnectivityStats& data,
+                            std::size_t record_size_left,
+                            std::size_t record_size_right,
+                            double cpu_factor) {
+  ORV_REQUIRE(cpu_factor > 0, "cpu_factor must be positive");
+  CostParams p;
+  p.T = static_cast<double>(data.T);
+  p.c_R = static_cast<double>(data.c_R);
+  p.c_S = static_cast<double>(data.c_S);
+  p.n_e = static_cast<double>(data.num_edges);
+  p.RS_R = static_cast<double>(record_size_left);
+  p.RS_S = static_cast<double>(record_size_right);
+
+  const auto& hw = cluster.hw;
+  p.n_s = static_cast<double>(cluster.num_storage);
+  p.n_j = static_cast<double>(cluster.num_compute);
+  // Aggregate network bandwidth between the storage and compute sides of
+  // the switch: limited by either side's NICs or the backplane.
+  p.net_bw = std::min({hw.nic_bw * p.n_s, hw.nic_bw * p.n_j, hw.switch_bw});
+  p.read_io_bw = hw.disk_read_bw;
+  p.write_io_bw = hw.disk_write_bw;
+  p.alpha_build = hw.alpha_build() / cpu_factor;
+  p.alpha_lookup = hw.alpha_lookup() / cpu_factor;
+  p.shared_filesystem = cluster.shared_filesystem;
+  return p;
+}
+
+namespace {
+
+/// Aggregate read bandwidth feeding the transfer phase: n_s local disks, or
+/// the single NFS server in shared-filesystem mode.
+double aggregate_read_bw(const CostParams& p) {
+  return p.shared_filesystem ? p.read_io_bw : p.read_io_bw * p.n_s;
+}
+
+double total_bytes(const CostParams& p) { return p.T * (p.RS_R + p.RS_S); }
+
+double transfer_cost(const CostParams& p) {
+  return total_bytes(p) / std::min(p.net_bw, aggregate_read_bw(p));
+}
+
+}  // namespace
+
+CostBreakdown ij_cost(const CostParams& p) {
+  CostBreakdown c;
+  c.transfer = transfer_cost(p);
+  c.cpu_build = p.alpha_build * p.T / p.n_j;
+  c.cpu_lookup = p.alpha_lookup * p.n_e * p.c_S / p.n_j;
+  return c;
+}
+
+CostBreakdown gh_cost(const CostParams& p) {
+  CostBreakdown c;
+  c.transfer = transfer_cost(p);
+  // Bucket spill and re-read: n_j scratch disks, or the single shared
+  // server (every bucket write/read funnels through it — Fig. 9).
+  const double write_agg =
+      p.shared_filesystem ? p.write_io_bw : p.write_io_bw * p.n_j;
+  const double read_agg =
+      p.shared_filesystem ? p.read_io_bw : p.read_io_bw * p.n_j;
+  c.write = total_bytes(p) / write_agg;
+  c.read = total_bytes(p) / read_agg;
+  c.cpu_build = p.alpha_build * p.T / p.n_j;
+  c.cpu_lookup = p.alpha_lookup * p.T / p.n_j;
+  return c;
+}
+
+bool ij_preferred(const CostParams& p) {
+  return ij_cost(p).total() <= gh_cost(p).total();
+}
+
+double crossover_ne_cs(const CostParams& p) {
+  // alpha_lookup x / n_j = Write + Read + alpha_lookup T / n_j
+  // (build terms equal on both sides; transfer equal).
+  const CostBreakdown gh = gh_cost(p);
+  return (gh.write + gh.read + p.alpha_lookup * p.T / p.n_j) * p.n_j /
+         p.alpha_lookup;
+}
+
+CostBreakdown ij_cost_with_refetch(const CostParams& p,
+                                   double refetch_factor) {
+  ORV_REQUIRE(refetch_factor >= 1.0, "re-fetch factor is at least 1");
+  CostBreakdown c = ij_cost(p);
+  c.transfer *= refetch_factor;
+  return c;
+}
+
+double io_per_flop_threshold(const CostParams& p, double gamma_lookup) {
+  const double degree_excess = p.n_e / p.m_S() - 1.0;
+  ORV_REQUIRE(degree_excess > 0,
+              "threshold undefined when average right degree <= 1 (IJ "
+              "always preferred)");
+  return 2.0 * (p.RS_R + p.RS_S) / (gamma_lookup * degree_excess);
+}
+
+std::string CostParams::to_string() const {
+  return strformat(
+      "T=%.3g c_R=%.3g c_S=%.3g n_e=%.3g RS=(%g,%g) net=%.3g io=(%.3g,%.3g) "
+      "n_s=%g n_j=%g alpha=(%.3g,%.3g)%s",
+      T, c_R, c_S, n_e, RS_R, RS_S, net_bw, read_io_bw, write_io_bw, n_s, n_j,
+      alpha_build, alpha_lookup, shared_filesystem ? " sharedfs" : "");
+}
+
+std::string CostBreakdown::to_string() const {
+  return strformat(
+      "total=%.3fs (transfer=%.3f write=%.3f read=%.3f build=%.3f "
+      "lookup=%.3f)",
+      total(), transfer, write, read, cpu_build, cpu_lookup);
+}
+
+}  // namespace orv

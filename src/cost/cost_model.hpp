@@ -1,0 +1,103 @@
+#pragma once
+
+// Cost models for the Indexed Join and Grace Hash algorithms (paper
+// Section 5, parameters in Table 1).
+//
+//   Total_IJ = Transfer + BuildHT + Lookup
+//   Transfer = T (RS_R + RS_S) / min(Net_bw(n_s, n_j), readIO_bw * n_s)
+//   BuildHT  = alpha_build  * T / n_j
+//   Lookup   = alpha_lookup * n_e * c_S / n_j
+//
+//   Total_GH = Transfer + Write + Read + Cpu
+//   Write    = T (RS_R + RS_S) / (writeIO_bw * n_j)
+//   Read     = T (RS_R + RS_S) / (readIO_bw  * n_j)
+//   Cpu      = (alpha_build + alpha_lookup) * T / n_j
+//
+// In shared-filesystem mode (Fig. 9) a single NFS server replaces the n_s
+// local disks and the n_j scratch disks, so the aggregate I/O bandwidth
+// terms lose their node multipliers.
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "datagen/dataset_spec.hpp"
+
+namespace orv {
+
+/// Table 1: dataset and system parameters.
+struct CostParams {
+  // Dataset parameters.
+  double T = 0;     // tuples per table
+  double c_R = 0;   // tuples per left sub-table
+  double c_S = 0;   // tuples per right sub-table
+  double n_e = 0;   // edges in the connectivity graph
+  double RS_R = 0;  // left record size, bytes
+  double RS_S = 0;  // right record size, bytes
+
+  // System parameters.
+  double net_bw = 0;        // aggregate Net_bw(n_s, n_j), bytes/s
+  double read_io_bw = 0;    // per-disk, bytes/s
+  double write_io_bw = 0;   // per-disk, bytes/s
+  double n_s = 0;           // storage nodes
+  double n_j = 0;           // joiner nodes
+  double alpha_build = 0;   // s per tuple
+  double alpha_lookup = 0;  // s per tuple
+
+  bool shared_filesystem = false;
+
+  double m_S() const { return T / c_S; }  // number of right sub-tables
+  double edge_ratio() const { return n_e * c_R * c_S / (T * T); }
+
+  /// Assembles parameters from a cluster spec and dataset stats.
+  /// `cpu_factor` scales CPU speed (Fig. 8: factor < 1 models a slower CPU
+  /// by repeating hash operations 1/factor times).
+  static CostParams from(const ClusterSpec& cluster,
+                         const ConnectivityStats& data,
+                         std::size_t record_size_left,
+                         std::size_t record_size_right,
+                         double cpu_factor = 1.0);
+
+  std::string to_string() const;
+};
+
+struct CostBreakdown {
+  double transfer = 0;
+  double write = 0;   // GH only
+  double read = 0;    // GH only
+  double cpu_build = 0;
+  double cpu_lookup = 0;
+
+  double cpu() const { return cpu_build + cpu_lookup; }
+  double total() const { return transfer + write + read + cpu_build + cpu_lookup; }
+  std::string to_string() const;
+};
+
+CostBreakdown ij_cost(const CostParams& p);
+CostBreakdown gh_cost(const CostParams& p);
+
+/// True when the model prefers the Indexed Join.
+bool ij_preferred(const CostParams& p);
+
+/// The n_e * c_S value at which the two totals cross (holding everything
+/// else fixed). IJ wins below, GH above. Derivation (Section 6.2, with
+/// readIO = writeIO = IO):
+///   alpha_lookup * n_e * c_S / n_j  =  2 T (RS_R+RS_S) / (IO n_j)
+///                                      + (alpha_lookup) * T / n_j
+/// plus the build terms, which cancel.
+double crossover_ne_cs(const CostParams& p);
+
+/// Section 6.2's threshold on IO_bw / F: IJ preferred while
+/// IO_bw/F < 2 (RS_R+RS_S) / (gamma_lookup (n_e/m_S - 1)).
+double io_per_flop_threshold(const CostParams& p, double gamma_lookup);
+
+/// The paper's cache-miss extension ("it would not be difficult to extend
+/// it for cache misses, as that will only involve re-retrieving some
+/// sub-tables"): IJ's transfer term scales by the re-fetch factor — total
+/// sub-table fetches the schedule incurs under the cache, divided by the
+/// minimum (each needed sub-table copy fetched once). The factor comes
+/// from Schedule::fetches_with_lru or from a QES run's measured fetches.
+CostBreakdown ij_cost_with_refetch(const CostParams& p,
+                                   double refetch_factor);
+
+}  // namespace orv

@@ -1,0 +1,93 @@
+#include "datagen/dataset_spec.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+namespace {
+
+void check_dim(std::uint64_t g, std::uint64_t p, std::uint64_t q,
+               const char* dim) {
+  ORV_REQUIRE(g >= 1 && p >= 1 && q >= 1,
+              std::string("grid/partition sizes must be >= 1 in ") + dim);
+  ORV_REQUIRE(g % p == 0, strformat("T1 partition must divide grid in %s "
+                                    "(g=%llu, p=%llu)",
+                                    dim, (unsigned long long)g,
+                                    (unsigned long long)p));
+  ORV_REQUIRE(g % q == 0, strformat("T2 partition must divide grid in %s "
+                                    "(g=%llu, q=%llu)",
+                                    dim, (unsigned long long)g,
+                                    (unsigned long long)q));
+  const std::uint64_t lo = p < q ? p : q;
+  const std::uint64_t hi = p < q ? q : p;
+  ORV_REQUIRE(hi % lo == 0,
+              strformat("partitions must nest in %s (p=%llu, q=%llu): the "
+                        "paper assumes regular partitioning",
+                        dim, (unsigned long long)p, (unsigned long long)q));
+}
+
+}  // namespace
+
+std::string Dim3::to_string() const {
+  return strformat("%llux%llux%llu", (unsigned long long)x,
+                   (unsigned long long)y, (unsigned long long)z);
+}
+
+void DatasetSpec::validate() const {
+  check_dim(grid.x, part1.x, part2.x, "x");
+  check_dim(grid.y, part1.y, part2.y, "y");
+  check_dim(grid.z, part1.z, part2.z, "z");
+  ORV_REQUIRE(num_storage_nodes >= 1, "need at least one storage node");
+  ORV_REQUIRE(table1_id != table2_id, "table ids must differ");
+  ORV_REQUIRE(table1_name != table2_name, "table names must differ");
+}
+
+std::string DatasetSpec::to_string() const {
+  return strformat("grid=%s p=%s q=%s attrs=(%zu,%zu) nodes=%zu",
+                   grid.to_string().c_str(), part1.to_string().c_str(),
+                   part2.to_string().c_str(), 3 + extra_attrs1,
+                   3 + extra_attrs2, num_storage_nodes);
+}
+
+ConnectivityStats analyze(const DatasetSpec& spec) {
+  spec.validate();
+  const auto& g = spec.grid;
+  const auto& p = spec.part1;
+  const auto& q = spec.part2;
+
+  auto ceil_div = [](std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+  };
+
+  ConnectivityStats s;
+  s.component = Dim3{p.x > q.x ? p.x : q.x, p.y > q.y ? p.y : q.y,
+                     p.z > q.z ? p.z : q.z};
+  s.num_components = g.volume() / s.component.volume();
+  s.edges_per_component =
+      ceil_div(s.component.x, (p.x < q.x ? p.x : q.x)) *
+      ceil_div(s.component.y, (p.y < q.y ? p.y : q.y)) *
+      ceil_div(s.component.z, (p.z < q.z ? p.z : q.z));
+  s.num_edges = s.num_components * s.edges_per_component;
+  s.T = g.volume();
+  s.c_R = p.volume();
+  s.c_S = q.volume();
+  s.a = s.component.volume() / s.c_R;
+  s.b = s.component.volume() / s.c_S;
+  s.edge_ratio = static_cast<double>(s.num_edges) *
+                 static_cast<double>(s.c_R) * static_cast<double>(s.c_S) /
+                 (static_cast<double>(s.T) * static_cast<double>(s.T));
+  return s;
+}
+
+std::string ConnectivityStats::to_string() const {
+  return strformat(
+      "C=%s N_C=%llu E_C=%llu n_e=%llu T=%llu c_R=%llu c_S=%llu a=%llu "
+      "b=%llu edge_ratio=%.4g",
+      component.to_string().c_str(), (unsigned long long)num_components,
+      (unsigned long long)edges_per_component, (unsigned long long)num_edges,
+      (unsigned long long)T, (unsigned long long)c_R, (unsigned long long)c_S,
+      (unsigned long long)a, (unsigned long long)b, edge_ratio);
+}
+
+}  // namespace orv

@@ -1,0 +1,86 @@
+#pragma once
+
+// Synthetic dataset specification (paper Section 6).
+//
+// Two virtual tables over one 3-D grid: T1(x,y,z,oilp,...) partitioned
+// (px,py,pz) and T2(x,y,z,wp,...) partitioned (qx,qy,qz); partitions
+// distributed block-cyclically across storage nodes. The paper's
+// closed-form component/edge formulas live here and are property-tested
+// against the actual connectivity graph built from the generated chunks.
+
+#include <cstdint>
+#include <string>
+
+#include "chunkio/chunk_format.hpp"
+
+namespace orv {
+
+struct Dim3 {
+  std::uint64_t x = 1;
+  std::uint64_t y = 1;
+  std::uint64_t z = 1;
+
+  std::uint64_t volume() const { return x * y * z; }
+  bool operator==(const Dim3&) const = default;
+  std::string to_string() const;
+};
+
+/// How chunks map to storage nodes.
+enum class Placement {
+  BlockCyclic,  // paper: chunk j -> node j mod n_s
+  Blocked,      // contiguous chunk ranges per node
+  Random,       // uniform random (seeded)
+};
+
+struct DatasetSpec {
+  Dim3 grid{64, 64, 64};   // g: grid points per dimension
+  Dim3 part1{16, 16, 16};  // p: T1 partition size
+  Dim3 part2{16, 16, 16};  // q: T2 partition size
+
+  /// Payload attributes beyond (x, y, z); each 4 bytes (paper Fig. 7 varies
+  /// this up to 21 total attributes).
+  std::size_t extra_attrs1 = 1;  // oilp, ...
+  std::size_t extra_attrs2 = 1;  // wp, ...
+
+  std::size_t num_storage_nodes = 5;
+
+  /// Chunk-to-node mapping (paper: block-cyclic).
+  Placement placement = Placement::BlockCyclic;
+
+  /// Payload layouts the "simulation code" wrote (exercises extractors).
+  LayoutId layout1 = LayoutId::RowMajor;
+  LayoutId layout2 = LayoutId::RowMajor;
+
+  TableId table1_id = 1;
+  TableId table2_id = 2;
+  std::string table1_name = "T1";
+  std::string table2_name = "T2";
+
+  std::uint64_t seed = 42;
+
+  /// Requires: partitions divide the grid per dimension, and per dimension
+  /// min(p,q) divides max(p,q) (regular partitioning, paper Section 5.1).
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+/// The paper's dataset parameters, computed in closed form (Section 6).
+struct ConnectivityStats {
+  Dim3 component;                    // C = max(p,q) per dim
+  std::uint64_t num_components = 0;  // N_C
+  std::uint64_t edges_per_component = 0;  // E_C
+  std::uint64_t num_edges = 0;       // n_e = N_C * E_C
+  std::uint64_t T = 0;               // tuples per table
+  std::uint64_t c_R = 0;             // tuples per T1 sub-table
+  std::uint64_t c_S = 0;             // tuples per T2 sub-table
+  std::uint64_t a = 0;               // left sub-tables per component
+  std::uint64_t b = 0;               // right sub-tables per component
+  double edge_ratio = 0;             // n_e * c_R * c_S / T^2
+
+  std::string to_string() const;
+};
+
+ConnectivityStats analyze(const DatasetSpec& spec);
+
+}  // namespace orv

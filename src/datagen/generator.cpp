@@ -1,0 +1,184 @@
+#include "datagen/generator.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/prng.hpp"
+#include "common/strings.hpp"
+#include "extract/extractor.hpp"
+
+namespace orv {
+
+float payload_value(TableId table, std::uint64_t seed, std::uint64_t x,
+                    std::uint64_t y, std::uint64_t z, std::size_t attr) {
+  std::uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ull * (table + 1)));
+  h = hash_combine(h, x);
+  h = hash_combine(h, y);
+  h = hash_combine(h, z);
+  h = hash_combine(h, attr);
+  return static_cast<float>((h >> 40) * 0x1.0p-24);
+}
+
+namespace {
+
+SchemaPtr make_schema(std::size_t extra, const char* first,
+                      const char* prefix) {
+  std::vector<Attribute> attrs = {{"x", AttrType::Float32},
+                                  {"y", AttrType::Float32},
+                                  {"z", AttrType::Float32}};
+  for (std::size_t i = 0; i < extra; ++i) {
+    attrs.push_back(Attribute{
+        i == 0 ? std::string(first) : strformat("%s%zu", prefix, i),
+        AttrType::Float32});
+  }
+  return Schema::make(std::move(attrs));
+}
+
+/// Generates every chunk of one table into the stores and the metadata.
+void generate_table(const DatasetSpec& spec, TableId table,
+                    const std::string& name, const SchemaPtr& schema,
+                    const Dim3& part, LayoutId layout,
+                    std::vector<std::shared_ptr<ChunkStore>>& stores,
+                    MetaDataService& meta) {
+  meta.register_table(table, name, schema);
+  const auto& registry = ExtractorRegistry::global();
+  const Extractor& extractor = registry.for_layout(layout);
+
+  const Dim3 n{spec.grid.x / part.x, spec.grid.y / part.y,
+               spec.grid.z / part.z};
+  const std::size_t rs = schema->record_size();
+  const std::size_t n_extra = schema->num_attrs() - 3;
+  const std::uint64_t num_chunks = n.volume();
+  const std::uint64_t chunks_per_node =
+      (num_chunks + spec.num_storage_nodes - 1) / spec.num_storage_nodes;
+  Xoshiro256StarStar placement_rng(spec.seed ^ (0x9e3779b97f4aull + table));
+
+  auto node_of = [&](ChunkId id) -> std::uint32_t {
+    switch (spec.placement) {
+      case Placement::BlockCyclic:
+        return static_cast<std::uint32_t>(id % spec.num_storage_nodes);
+      case Placement::Blocked:
+        return static_cast<std::uint32_t>(id / chunks_per_node);
+      case Placement::Random:
+        return static_cast<std::uint32_t>(
+            placement_rng.below(spec.num_storage_nodes));
+    }
+    throw Error("unreachable placement");
+  };
+
+  ChunkId chunk_id = 0;
+  for (std::uint64_t iz = 0; iz < n.z; ++iz) {
+    for (std::uint64_t iy = 0; iy < n.y; ++iy) {
+      for (std::uint64_t ix = 0; ix < n.x; ++ix, ++chunk_id) {
+        const std::uint64_t x0 = ix * part.x;
+        const std::uint64_t y0 = iy * part.y;
+        const std::uint64_t z0 = iz * part.z;
+
+        SubTable st(schema, SubTableId{table, chunk_id});
+        std::vector<std::byte> rows(part.volume() * rs);
+        std::byte* out = rows.data();
+        Rect bounds(schema->num_attrs());
+        bounds[0] = {static_cast<double>(x0),
+                     static_cast<double>(x0 + part.x - 1)};
+        bounds[1] = {static_cast<double>(y0),
+                     static_cast<double>(y0 + part.y - 1)};
+        bounds[2] = {static_cast<double>(z0),
+                     static_cast<double>(z0 + part.z - 1)};
+        for (std::size_t a = 0; a < n_extra; ++a) {
+          bounds[3 + a] = {0.0, 1.0};
+        }
+
+        for (std::uint64_t z = z0; z < z0 + part.z; ++z) {
+          for (std::uint64_t y = y0; y < y0 + part.y; ++y) {
+            for (std::uint64_t x = x0; x < x0 + part.x; ++x) {
+              float coords[3] = {static_cast<float>(x),
+                                 static_cast<float>(y),
+                                 static_cast<float>(z)};
+              std::memcpy(out, coords, sizeof(coords));
+              out += sizeof(coords);
+              for (std::size_t a = 0; a < n_extra; ++a) {
+                const float v = payload_value(table, spec.seed, x, y, z, a);
+                std::memcpy(out, &v, sizeof(v));
+                out += sizeof(v);
+              }
+            }
+          }
+        }
+        st.adopt_bytes(std::move(rows));
+        st.set_bounds(bounds);
+
+        const std::uint32_t node = node_of(chunk_id);
+        const auto chunk_bytes = make_chunk(st, layout);
+        ChunkLocation loc = stores[node]->append(/*file_no=*/table,
+                                                 chunk_bytes);
+        loc.storage_node = node;
+
+        ChunkMeta cm;
+        cm.id = st.id();
+        cm.location = loc;
+        cm.layout = layout;
+        cm.schema = schema;
+        cm.bounds = bounds;
+        cm.num_rows = st.num_rows();
+        cm.extractors = {extractor.name()};
+        meta.add_chunk(std::move(cm));
+      }
+    }
+  }
+}
+
+GeneratedDataset generate_impl(
+    const DatasetSpec& spec,
+    std::vector<std::shared_ptr<ChunkStore>> stores) {
+  spec.validate();
+  GeneratedDataset out;
+  out.spec = spec;
+  out.stats = analyze(spec);
+  out.stores = std::move(stores);
+  generate_dataset_into(spec, out.meta, out.stores);
+  return out;
+}
+
+}  // namespace
+
+void generate_dataset_into(const DatasetSpec& spec, MetaDataService& meta,
+                           std::vector<std::shared_ptr<ChunkStore>>& stores) {
+  spec.validate();
+  ORV_REQUIRE(stores.size() == spec.num_storage_nodes,
+              "one chunk store per storage node required");
+  generate_table(spec, spec.table1_id, spec.table1_name, table1_schema(spec),
+                 spec.part1, spec.layout1, stores, meta);
+  generate_table(spec, spec.table2_id, spec.table2_name, table2_schema(spec),
+                 spec.part2, spec.layout2, stores, meta);
+}
+
+SchemaPtr table1_schema(const DatasetSpec& spec) {
+  return make_schema(spec.extra_attrs1, "oilp", "p");
+}
+
+SchemaPtr table2_schema(const DatasetSpec& spec) {
+  return make_schema(spec.extra_attrs2, "wp", "w");
+}
+
+GeneratedDataset generate_dataset(const DatasetSpec& spec) {
+  std::vector<std::shared_ptr<ChunkStore>> stores;
+  for (std::size_t i = 0; i < spec.num_storage_nodes; ++i) {
+    stores.push_back(std::make_shared<MemoryChunkStore>());
+  }
+  return generate_impl(spec, std::move(stores));
+}
+
+GeneratedDataset generate_dataset(const DatasetSpec& spec,
+                                  const std::filesystem::path& dir) {
+  std::vector<std::shared_ptr<ChunkStore>> stores;
+  for (std::size_t i = 0; i < spec.num_storage_nodes; ++i) {
+    stores.push_back(
+        std::make_shared<FileChunkStore>(dir / strformat("node%zu", i)));
+  }
+  return generate_impl(spec, std::move(stores));
+  // Note: callers wanting a re-openable dataset directory should follow up
+  // with save_catalog(ds.meta, dir) (src/core/catalog_io.hpp).
+}
+
+}  // namespace orv

@@ -1,0 +1,59 @@
+#pragma once
+
+// Synthetic dataset generator: produces chunk files (in memory or on disk),
+// registers every chunk with a MetaData Service, and distributes chunks
+// block-cyclically across storage nodes — the shape oil-reservoir
+// simulation outputs take (paper Sections 2 and 6).
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chunkio/chunk_store.hpp"
+#include "datagen/dataset_spec.hpp"
+#include "meta/metadata.hpp"
+
+namespace orv {
+
+struct GeneratedDataset {
+  DatasetSpec spec;
+  ConnectivityStats stats;
+  MetaDataService meta;
+  /// One store per storage node, indexed by node id.
+  std::vector<std::shared_ptr<ChunkStore>> stores;
+
+  const ChunkStore& store_for(const ChunkLocation& loc) const {
+    return *stores.at(loc.storage_node);
+  }
+};
+
+/// Generates both tables into MemoryChunkStores (used by simulation benches
+/// and tests). Deterministic in spec.seed.
+GeneratedDataset generate_dataset(const DatasetSpec& spec);
+
+/// Generates into flat files under `dir` (one subdirectory per storage
+/// node), for the file-backed examples.
+GeneratedDataset generate_dataset(const DatasetSpec& spec,
+                                  const std::filesystem::path& dir);
+
+/// Generates the spec's two tables into an existing catalog + stores
+/// (stores.size() must equal spec.num_storage_nodes). Lets callers build
+/// multi-dataset catalogs — e.g. one table pair per reservoir (paper
+/// Figure 1). Table ids/names in the spec must not collide with existing
+/// entries.
+void generate_dataset_into(const DatasetSpec& spec, MetaDataService& meta,
+                           std::vector<std::shared_ptr<ChunkStore>>& stores);
+
+/// The deterministic payload value stored at grid point (x,y,z) for a given
+/// table and payload-attribute index; in [0, 1). Exposed so tests can
+/// verify generated data independently.
+float payload_value(TableId table, std::uint64_t seed, std::uint64_t x,
+                    std::uint64_t y, std::uint64_t z, std::size_t attr);
+
+/// Schema of table 1 / table 2 for a spec: (x,y,z) as f32 plus extra f32
+/// payload attributes ("oilp","p1",... / "wp","w1",...).
+SchemaPtr table1_schema(const DatasetSpec& spec);
+SchemaPtr table2_schema(const DatasetSpec& spec);
+
+}  // namespace orv

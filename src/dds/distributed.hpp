@@ -1,0 +1,58 @@
+#pragma once
+
+// Distributed Derived Data Source: executes join-based views (and
+// aggregations layered on them) on the simulated cluster, with the Query
+// Planning Service choosing between the IJ and GH Query Execution Services
+// via the cost models (paper Section 4).
+
+#include <memory>
+#include <optional>
+
+#include "dds/view_def.hpp"
+#include "graph/page_index.hpp"
+#include "qps/planner.hpp"
+
+namespace orv {
+
+struct DistributedRun {
+  PlanDecision decision;   // what the QPS chose and why
+  QesResult qes;           // virtual-time execution outcome
+  GraphStats graph_stats;  // connectivity-graph statistics
+};
+
+class DistributedDds {
+ public:
+  DistributedDds(Cluster& cluster, BdsService& bds,
+                 const MetaDataService& meta)
+      : cluster_(cluster),
+        bds_(bds),
+        meta_(meta),
+        planner_(cluster.spec()),
+        page_index_(meta) {}
+
+  /// True when the view can run on this DDS (join-view shape, optionally
+  /// under one Aggregate).
+  bool supports(const ViewDef& view) const;
+
+  /// Plans and executes the view. For plain join views, `materialize`
+  /// selects whether result rows are collected into `rows_out` (they are
+  /// always counted and digested regardless). For Aggregate-over-join
+  /// views, aggregation runs at the compute nodes, partial states merge
+  /// centrally, and `rows_out` receives the (small) aggregate table.
+  DistributedRun execute(const ViewDef& view, QesOptions options = {},
+                         SubTable* rows_out = nullptr);
+
+  const QueryPlanner& planner() const { return planner_; }
+
+  /// The precomputed page-level join index cache (paper Section 4.1).
+  PageIndexService& page_index() { return page_index_; }
+
+ private:
+  Cluster& cluster_;
+  BdsService& bds_;
+  const MetaDataService& meta_;
+  QueryPlanner planner_;
+  PageIndexService page_index_;
+};
+
+}  // namespace orv

@@ -1,0 +1,184 @@
+#include "extract/extractor.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace orv {
+
+namespace {
+
+SubTable make_subtable_shell(const ChunkHeader& header) {
+  SubTable st(std::make_shared<const Schema>(header.schema),
+              SubTableId{header.table, header.chunk});
+  return st;
+}
+
+void finish(SubTable& st, const ChunkHeader& header) {
+  st.set_bounds(header.bounds);
+  ORV_CHECK(st.num_rows() == header.num_rows,
+            "extractor produced wrong row count");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RowMajor
+
+SubTable RowMajorExtractor::extract(const ChunkHeader& header,
+                                    std::span<const std::byte> payload) const {
+  SubTable st = make_subtable_shell(header);
+  st.adopt_bytes({payload.begin(), payload.end()});
+  finish(st, header);
+  return st;
+}
+
+std::vector<std::byte> RowMajorExtractor::encode(const SubTable& table) const {
+  auto bytes = table.bytes();
+  return {bytes.begin(), bytes.end()};
+}
+
+// ---------------------------------------------------------------- ColMajor
+
+SubTable ColMajorExtractor::extract(const ChunkHeader& header,
+                                    std::span<const std::byte> payload) const {
+  SubTable st = make_subtable_shell(header);
+  const Schema& schema = st.schema();
+  const std::size_t rs = schema.record_size();
+  const std::size_t n = header.num_rows;
+  std::vector<std::byte> rows(n * rs);
+  std::size_t src = 0;
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    const std::size_t w = attr_size(schema.attr(a).type);
+    const std::size_t dst_off = schema.offset(a);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::memcpy(rows.data() + r * rs + dst_off, payload.data() + src, w);
+      src += w;
+    }
+  }
+  ORV_CHECK(src == payload.size(), "col-major payload size mismatch");
+  st.adopt_bytes(std::move(rows));
+  finish(st, header);
+  return st;
+}
+
+std::vector<std::byte> ColMajorExtractor::encode(const SubTable& table) const {
+  const Schema& schema = table.schema();
+  const std::size_t rs = schema.record_size();
+  const std::size_t n = table.num_rows();
+  std::vector<std::byte> out(n * rs);
+  const std::byte* rows = table.bytes().data();
+  std::size_t dst = 0;
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    const std::size_t w = attr_size(schema.attr(a).type);
+    const std::size_t src_off = schema.offset(a);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::memcpy(out.data() + dst, rows + r * rs + src_off, w);
+      dst += w;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- BlockedRows
+
+SubTable BlockedRowsExtractor::extract(
+    const ChunkHeader& header, std::span<const std::byte> payload) const {
+  SubTable st = make_subtable_shell(header);
+  const Schema& schema = st.schema();
+  const std::size_t rs = schema.record_size();
+  const std::size_t n = header.num_rows;
+  std::vector<std::byte> rows(n * rs);
+  std::size_t src = 0;
+  for (std::size_t block = 0; block < n; block += kBlockedRowsBlock) {
+    const std::size_t block_rows =
+        (n - block < kBlockedRowsBlock) ? n - block : kBlockedRowsBlock;
+    for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+      const std::size_t w = attr_size(schema.attr(a).type);
+      const std::size_t dst_off = schema.offset(a);
+      for (std::size_t r = 0; r < block_rows; ++r) {
+        std::memcpy(rows.data() + (block + r) * rs + dst_off,
+                    payload.data() + src, w);
+        src += w;
+      }
+    }
+  }
+  ORV_CHECK(src == payload.size(), "blocked-rows payload size mismatch");
+  st.adopt_bytes(std::move(rows));
+  finish(st, header);
+  return st;
+}
+
+std::vector<std::byte> BlockedRowsExtractor::encode(
+    const SubTable& table) const {
+  const Schema& schema = table.schema();
+  const std::size_t rs = schema.record_size();
+  const std::size_t n = table.num_rows();
+  std::vector<std::byte> out(n * rs);
+  const std::byte* rows = table.bytes().data();
+  std::size_t dst = 0;
+  for (std::size_t block = 0; block < n; block += kBlockedRowsBlock) {
+    const std::size_t block_rows =
+        (n - block < kBlockedRowsBlock) ? n - block : kBlockedRowsBlock;
+    for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+      const std::size_t w = attr_size(schema.attr(a).type);
+      const std::size_t src_off = schema.offset(a);
+      for (std::size_t r = 0; r < block_rows; ++r) {
+        std::memcpy(out.data() + dst, rows + (block + r) * rs + src_off, w);
+        dst += w;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Registry
+
+ExtractorRegistry::ExtractorRegistry() {
+  register_extractor(std::make_unique<RowMajorExtractor>());
+  register_extractor(std::make_unique<ColMajorExtractor>());
+  register_extractor(std::make_unique<BlockedRowsExtractor>());
+}
+
+ExtractorRegistry& ExtractorRegistry::global() {
+  static ExtractorRegistry registry;
+  return registry;
+}
+
+void ExtractorRegistry::register_extractor(
+    std::unique_ptr<Extractor> extractor) {
+  ORV_REQUIRE(extractor != nullptr, "null extractor");
+  extractors_.push_back(std::move(extractor));
+}
+
+const Extractor& ExtractorRegistry::for_layout(LayoutId layout) const {
+  // Later registrations win, so applications can override built-ins.
+  for (auto it = extractors_.rbegin(); it != extractors_.rend(); ++it) {
+    if ((*it)->layout() == layout) return **it;
+  }
+  throw NotFound("no extractor registered for layout id " +
+                 std::to_string(static_cast<int>(layout)));
+}
+
+SubTable extract_chunk(std::span<const std::byte> chunk_bytes,
+                       const ExtractorRegistry& registry) {
+  std::size_t payload_offset = 0;
+  const ChunkHeader header = decode_chunk_header(chunk_bytes, &payload_offset);
+  const auto payload = chunk_payload(chunk_bytes, header, payload_offset);
+  return registry.for_layout(header.layout).extract(header, payload);
+}
+
+std::vector<std::byte> make_chunk(const SubTable& table, LayoutId layout,
+                                  const ExtractorRegistry& registry) {
+  const auto payload = registry.for_layout(layout).encode(table);
+  ChunkHeader header;
+  header.layout = layout;
+  header.table = table.id().table;
+  header.chunk = table.id().chunk;
+  header.num_rows = table.num_rows();
+  header.schema = table.schema();
+  header.bounds = table.bounds();
+  header.payload_size = payload.size();
+  return encode_chunk(header, payload);
+}
+
+}  // namespace orv

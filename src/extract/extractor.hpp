@@ -1,0 +1,92 @@
+#pragma once
+
+// Extractor functions: interpret application-specific chunk payloads and
+// map them to the standard sub-table structure (paper Section 2). One
+// extractor per payload layout; the registry resolves the layout id found
+// in a chunk header to the extractor that can parse it.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "chunkio/chunk_format.hpp"
+#include "subtable/subtable.hpp"
+
+namespace orv {
+
+/// Parses one payload layout into sub-tables, and arranges sub-tables into
+/// that layout (the inverse, used when generating datasets).
+class Extractor {
+ public:
+  virtual ~Extractor() = default;
+
+  virtual LayoutId layout() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Maps a chunk payload to a sub-table. The returned sub-table carries the
+  /// header's id and bounding box.
+  virtual SubTable extract(const ChunkHeader& header,
+                           std::span<const std::byte> payload) const = 0;
+
+  /// Arranges a sub-table's records into this layout's payload bytes.
+  virtual std::vector<std::byte> encode(const SubTable& table) const = 0;
+};
+
+/// Identity layout: payload already is packed row-major records.
+class RowMajorExtractor final : public Extractor {
+ public:
+  LayoutId layout() const override { return LayoutId::RowMajor; }
+  std::string name() const override { return "row-major"; }
+  SubTable extract(const ChunkHeader& header,
+                   std::span<const std::byte> payload) const override;
+  std::vector<std::byte> encode(const SubTable& table) const override;
+};
+
+/// Column dump: all values of attribute 0, then attribute 1, ...
+class ColMajorExtractor final : public Extractor {
+ public:
+  LayoutId layout() const override { return LayoutId::ColMajor; }
+  std::string name() const override { return "col-major"; }
+  SubTable extract(const ChunkHeader& header,
+                   std::span<const std::byte> payload) const override;
+  std::vector<std::byte> encode(const SubTable& table) const override;
+};
+
+/// Rows grouped into blocks of kBlockedRowsBlock; column-major per block.
+class BlockedRowsExtractor final : public Extractor {
+ public:
+  LayoutId layout() const override { return LayoutId::BlockedRows; }
+  std::string name() const override { return "blocked-rows"; }
+  SubTable extract(const ChunkHeader& header,
+                   std::span<const std::byte> payload) const override;
+  std::vector<std::byte> encode(const SubTable& table) const override;
+};
+
+/// Maps layout ids to extractor instances. The global() registry holds the
+/// three built-in layouts; applications may register custom extractors.
+class ExtractorRegistry {
+ public:
+  ExtractorRegistry();
+
+  static ExtractorRegistry& global();
+
+  void register_extractor(std::unique_ptr<Extractor> extractor);
+  const Extractor& for_layout(LayoutId layout) const;
+
+ private:
+  std::vector<std::unique_ptr<Extractor>> extractors_;
+};
+
+/// Decodes a full chunk (header + payload + CRCs) into a sub-table using the
+/// registry; validates CRCs and sets id + bounds from the header.
+SubTable extract_chunk(std::span<const std::byte> chunk_bytes,
+                       const ExtractorRegistry& registry =
+                           ExtractorRegistry::global());
+
+/// Builds full chunk bytes for a sub-table in the given layout.
+std::vector<std::byte> make_chunk(const SubTable& table, LayoutId layout,
+                                  const ExtractorRegistry& registry =
+                                      ExtractorRegistry::global());
+
+}  // namespace orv

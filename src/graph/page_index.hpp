@@ -1,0 +1,58 @@
+#pragma once
+
+// Page-level join index service.
+//
+// "The page-index can be precomputed for common join attributes" (paper
+// Section 4.1). This service caches one full connectivity graph per
+// (left table, right table, join attributes) key; a query's range
+// constraints then prune the cached graph ("any additional range
+// constraints may be applied at the sub-table level to prune away
+// unwanted edges and nodes") instead of re-pairing chunks. The cache can
+// be persisted through the MetaData Service's byte format.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+
+namespace orv {
+
+class PageIndexService {
+ public:
+  explicit PageIndexService(const MetaDataService& meta) : meta_(meta) {}
+
+  /// The full (unconstrained) graph; built once per key and cached.
+  const ConnectivityGraph& full_graph(
+      TableId left, TableId right, const std::vector<std::string>& attrs);
+
+  /// A range-constrained graph, derived from the cached full graph by
+  /// pruning edges whose chunks cannot satisfy the ranges. Equivalent to
+  /// ConnectivityGraph::build(..., ranges), without re-pairing.
+  ConnectivityGraph pruned_graph(TableId left, TableId right,
+                                 const std::vector<std::string>& attrs,
+                                 const std::vector<AttrRange>& ranges);
+
+  /// Precomputes (or re-uses) the index for a key; returns whether a
+  /// build happened.
+  bool precompute(TableId left, TableId right,
+                  const std::vector<std::string>& attrs);
+
+  std::size_t num_cached() const { return cache_.size(); }
+  std::uint64_t builds() const { return builds_; }
+  std::uint64_t hits() const { return hits_; }
+
+  /// Persists every cached index (with its key) for a future session.
+  void serialize(ByteWriter& w) const;
+  void load(ByteReader& r);
+
+ private:
+  using Key = std::tuple<TableId, TableId, std::vector<std::string>>;
+
+  const MetaDataService& meta_;
+  std::map<Key, ConnectivityGraph> cache_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace orv

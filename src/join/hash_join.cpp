@@ -1,0 +1,199 @@
+#include "join/hash_join.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace orv {
+
+namespace {
+
+std::uint64_t table_capacity_for(std::size_t rows) {
+  // Load factor <= 0.5 keeps linear-probe clusters short.
+  std::size_t wanted = rows * 2;
+  if (wanted < 16) wanted = 16;
+  return std::bit_ceil(wanted);
+}
+
+constexpr std::size_t kMaxKeyArity = 8;
+
+}  // namespace
+
+BuiltHashTable::BuiltHashTable(std::shared_ptr<const SubTable> left,
+                               const std::vector<std::string>& key_attrs)
+    : left_(std::move(left)),
+      key_(JoinKey::resolve(left_->schema(), key_attrs)) {
+  ORV_REQUIRE(key_.arity() <= kMaxKeyArity, "join key arity too large");
+  ORV_REQUIRE(left_->num_rows() < kEmpty, "left sub-table too large");
+  const std::uint64_t cap = table_capacity_for(left_->num_rows());
+  slots_.assign(cap, Slot{});
+  mask_ = cap - 1;
+  const std::size_t rs = left_->record_size();
+  const std::byte* rows = left_->bytes().data();
+  for (std::size_t r = 0; r < left_->num_rows(); ++r) {
+    insert(key_.hash_row(rows + r * rs, kSaltInMemory),
+           static_cast<std::uint32_t>(r));
+  }
+}
+
+void BuiltHashTable::insert(std::uint64_t hash, std::uint32_t row) {
+  std::uint64_t i = hash & mask_;
+  while (slots_[i].row != kEmpty) i = (i + 1) & mask_;
+  slots_[i].hash = hash;
+  slots_[i].row = row;
+}
+
+template <typename Fn>
+void BuiltHashTable::for_each_match(std::uint64_t hash,
+                                    const std::uint64_t* lanes,
+                                    Fn&& fn) const {
+  const std::size_t rs = left_->record_size();
+  const std::byte* rows = left_->bytes().data();
+  std::uint64_t left_lanes[kMaxKeyArity];
+  std::uint64_t i = hash & mask_;
+  while (slots_[i].row != kEmpty) {
+    if (slots_[i].hash == hash) {
+      const std::byte* lrow = rows + slots_[i].row * rs;
+      key_.extract_lanes(lrow, left_lanes);
+      if (key_.lanes_equal(left_lanes, lanes)) fn(slots_[i].row);
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+RightCopyPlan RightCopyPlan::make(const Schema& left, const Schema& right,
+                                  const JoinKey& right_key) {
+  RightCopyPlan plan;
+  plan.left_record_size = left.record_size();
+  std::size_t dst = left.record_size();
+  RightCopyPlan::Piece pending{0, 0, 0};
+  bool have_pending = false;
+  for (std::size_t a = 0; a < right.num_attrs(); ++a) {
+    bool is_key = false;
+    for (std::size_t k : right_key.attr_indices()) {
+      if (k == a) {
+        is_key = true;
+        break;
+      }
+    }
+    if (is_key) continue;
+    const std::size_t src = right.offset(a);
+    const std::size_t size = attr_size(right.attr(a).type);
+    if (have_pending && pending.src_offset + pending.size == src) {
+      pending.size += size;  // merge adjacent attrs into one memcpy
+    } else {
+      if (have_pending) plan.pieces.push_back(pending);
+      pending = {src, dst, size};
+      have_pending = true;
+    }
+    dst += size;
+  }
+  if (have_pending) plan.pieces.push_back(pending);
+  plan.result_record_size = dst;
+  return plan;
+}
+
+JoinStats BuiltHashTable::probe(const SubTable& right,
+                                const std::vector<std::string>& right_key_attrs,
+                                SubTable& out) const {
+  return probe_range(right, right_key_attrs, 0, right.num_rows(), out);
+}
+
+JoinStats BuiltHashTable::probe_range(
+    const SubTable& right, const std::vector<std::string>& right_key_attrs,
+    std::size_t row_begin, std::size_t row_end, SubTable& out) const {
+  const JoinKey right_key = JoinKey::resolve(right.schema(), right_key_attrs);
+  ORV_REQUIRE(right_key.compatible_with(key_), "join key arity mismatch");
+  ORV_REQUIRE(row_begin <= row_end && row_end <= right.num_rows(),
+              "probe row range out of bounds");
+  const RightCopyPlan plan =
+      RightCopyPlan::make(left_->schema(), right.schema(), right_key);
+  ORV_REQUIRE(out.record_size() == plan.result_record_size,
+              "output schema does not match the join result layout");
+
+  JoinStats stats;
+  stats.probe_tuples = row_end - row_begin;
+
+  const std::size_t lrs = left_->record_size();
+  const std::size_t rrs = right.record_size();
+  const std::byte* lrows = left_->bytes().data();
+  const std::byte* rrows = right.bytes().data();
+  std::uint64_t lanes[kMaxKeyArity];
+  std::vector<std::byte> row_buf(plan.result_record_size);
+
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const std::byte* rrow = rrows + r * rrs;
+    right_key.extract_lanes(rrow, lanes);
+    const std::uint64_t h = right_key.hash_row(rrow, kSaltInMemory);
+    for_each_match(h, lanes, [&](std::uint32_t lrow_idx) {
+      std::memcpy(row_buf.data(), lrows + lrow_idx * lrs, lrs);
+      for (const auto& piece : plan.pieces) {
+        std::memcpy(row_buf.data() + piece.dst_offset, rrow + piece.src_offset,
+                    piece.size);
+      }
+      out.append_row(row_buf);
+      ++stats.result_tuples;
+    });
+  }
+  return stats;
+}
+
+std::vector<std::uint32_t> BuiltHashTable::matches(const SubTable& right,
+                                                   const JoinKey& right_key,
+                                                   std::size_t right_row) const {
+  const std::byte* rrow = right.row(right_row);
+  std::uint64_t lanes[kMaxKeyArity];
+  right_key.extract_lanes(rrow, lanes);
+  std::vector<std::uint32_t> out;
+  for_each_match(right_key.hash_row(rrow, kSaltInMemory), lanes,
+                 [&](std::uint32_t r) { out.push_back(r); });
+  return out;
+}
+
+SubTable hash_join(const SubTable& left, const SubTable& right,
+                   const std::vector<std::string>& key_attrs,
+                   SubTableId result_id, JoinStats* stats) {
+  // Non-owning alias: the table lives only for this call.
+  auto left_alias = std::shared_ptr<const SubTable>(&left, [](auto*) {});
+  BuiltHashTable ht(left_alias, key_attrs);
+  const JoinKey right_key = JoinKey::resolve(right.schema(), key_attrs);
+  auto result_schema = std::make_shared<const Schema>(Schema::join_result(
+      left.schema(), right.schema(), right_key.attr_indices()));
+  SubTable out(result_schema, result_id);
+  JoinStats s = ht.probe(right, key_attrs, out);
+  s.build_tuples = left.num_rows();
+  if (stats) *stats += s;
+  return out;
+}
+
+SubTable nested_loop_join(const SubTable& left, const SubTable& right,
+                          const std::vector<std::string>& key_attrs,
+                          SubTableId result_id) {
+  const JoinKey lkey = JoinKey::resolve(left.schema(), key_attrs);
+  const JoinKey rkey = JoinKey::resolve(right.schema(), key_attrs);
+  auto result_schema = std::make_shared<const Schema>(Schema::join_result(
+      left.schema(), right.schema(), rkey.attr_indices()));
+  const RightCopyPlan plan =
+      RightCopyPlan::make(left.schema(), right.schema(), rkey);
+  SubTable out(result_schema, result_id);
+  std::uint64_t ll[kMaxKeyArity];
+  std::uint64_t rl[kMaxKeyArity];
+  std::vector<std::byte> row_buf(plan.result_record_size);
+  for (std::size_t r = 0; r < right.num_rows(); ++r) {
+    rkey.extract_lanes(right.row(r), rl);
+    for (std::size_t l = 0; l < left.num_rows(); ++l) {
+      lkey.extract_lanes(left.row(l), ll);
+      if (!lkey.lanes_equal(ll, rl)) continue;
+      std::memcpy(row_buf.data(), left.row(l), left.record_size());
+      for (const auto& piece : plan.pieces) {
+        std::memcpy(row_buf.data() + piece.dst_offset,
+                    right.row(r) + piece.src_offset, piece.size);
+      }
+      out.append_row(row_buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace orv

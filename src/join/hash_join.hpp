@@ -1,0 +1,121 @@
+#pragma once
+
+// In-memory hash join: the sub-routine both distributed algorithms share
+// (paper Section 5).
+//
+// The hash table stores *row indices* into the pinned left sub-table — the
+// paper's "pointer to the relevant record" — so build and lookup costs are
+// independent of record size (alpha_build, alpha_lookup are per tuple).
+//
+// BuiltHashTable is reusable: the Indexed Join builds it once per left
+// sub-table and probes it with every connected right sub-table.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "join/key.hpp"
+#include "subtable/subtable.hpp"
+
+namespace orv {
+
+/// Tuple-level cost counters, consumed by the simulation (charged to CPUs
+/// as gamma ops/tuple) and by cost-model calibration.
+struct JoinStats {
+  std::uint64_t build_tuples = 0;
+  std::uint64_t probe_tuples = 0;
+  std::uint64_t result_tuples = 0;
+
+  JoinStats& operator+=(const JoinStats& o) {
+    build_tuples += o.build_tuples;
+    probe_tuples += o.probe_tuples;
+    result_tuples += o.result_tuples;
+    return *this;
+  }
+};
+
+/// Open-addressing (linear probing) hash table over a left sub-table's key.
+class BuiltHashTable {
+ public:
+  /// Builds from `left` on `key_attrs`. The left sub-table is shared-owned
+  /// and must not be mutated afterwards.
+  BuiltHashTable(std::shared_ptr<const SubTable> left,
+                 const std::vector<std::string>& key_attrs);
+
+  const SubTable& left() const { return *left_; }
+  const std::shared_ptr<const SubTable>& left_ptr() const { return left_; }
+  const JoinKey& key() const { return key_; }
+  std::uint64_t build_tuples() const { return left_->num_rows(); }
+
+  /// Bytes of table structure (excludes the left sub-table payload).
+  std::size_t table_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+  /// Probes with every row of `right` (joined on `right_key_attrs`, which
+  /// must have the same arity); appends joined rows to `out`, whose schema
+  /// must be Schema::join_result(left, right, right key indices).
+  /// Returns stats for this probe pass.
+  JoinStats probe(const SubTable& right,
+                  const std::vector<std::string>& right_key_attrs,
+                  SubTable& out) const;
+
+  /// Probes only rows [row_begin, row_end) of `right`; the parallel local
+  /// executor partitions the probe side across threads with this (the
+  /// table is immutable during probing, so concurrent calls are safe).
+  JoinStats probe_range(const SubTable& right,
+                        const std::vector<std::string>& right_key_attrs,
+                        std::size_t row_begin, std::size_t row_end,
+                        SubTable& out) const;
+
+  /// Row indices of left rows matching the given right row (test hook).
+  std::vector<std::uint32_t> matches(const SubTable& right,
+                                     const JoinKey& right_key,
+                                     std::size_t right_row) const;
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t row = kEmpty;
+  };
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  void insert(std::uint64_t hash, std::uint32_t row);
+
+  template <typename Fn>
+  void for_each_match(std::uint64_t hash, const std::uint64_t* lanes,
+                      Fn&& fn) const;
+
+  std::shared_ptr<const SubTable> left_;
+  JoinKey key_;
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+};
+
+/// One-shot convenience: build on `left`, probe with `right`, produce the
+/// joined sub-table. `key_attrs` are resolved against both schemas.
+SubTable hash_join(const SubTable& left, const SubTable& right,
+                   const std::vector<std::string>& key_attrs,
+                   SubTableId result_id, JoinStats* stats = nullptr);
+
+/// Reference nested-loop join for correctness checks (O(n*m)).
+SubTable nested_loop_join(const SubTable& left, const SubTable& right,
+                          const std::vector<std::string>& key_attrs,
+                          SubTableId result_id);
+
+/// Plan for copying the non-key right attributes into result rows.
+struct RightCopyPlan {
+  struct Piece {
+    std::size_t src_offset;
+    std::size_t dst_offset;
+    std::size_t size;
+  };
+  std::vector<Piece> pieces;
+  std::size_t result_record_size = 0;
+  std::size_t left_record_size = 0;
+
+  static RightCopyPlan make(const Schema& left, const Schema& right,
+                            const JoinKey& right_key);
+};
+
+}  // namespace orv

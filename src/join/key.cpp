@@ -1,0 +1,30 @@
+#include "join/key.hpp"
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace orv {
+
+JoinKey JoinKey::resolve(const Schema& schema,
+                         const std::vector<std::string>& attr_names) {
+  ORV_REQUIRE(!attr_names.empty(), "join needs at least one key attribute");
+  JoinKey key;
+  for (const auto& name : attr_names) {
+    const std::size_t idx = schema.require_index(name);
+    key.indices_.push_back(idx);
+    key.offsets_.push_back(schema.offset(idx));
+    key.types_.push_back(schema.attr(idx).type);
+  }
+  return key;
+}
+
+std::uint64_t JoinKey::hash_row(const std::byte* row,
+                                std::uint64_t salt) const {
+  std::uint64_t h = mix64(salt ^ 0x243f6a8885a308d3ull);
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    h = hash_combine(h, key_lane_from_bytes(types_[i], row + offsets_[i]));
+  }
+  return h;
+}
+
+}  // namespace orv

@@ -1,0 +1,62 @@
+#pragma once
+
+// Equi-join key handling: resolving named join attributes against schemas
+// and canonicalizing a row's key into 64-bit lanes for hashing/equality.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "subtable/subtable.hpp"
+
+namespace orv {
+
+/// Join-attribute indices resolved against one schema, with cached types
+/// and offsets for the hot path.
+class JoinKey {
+ public:
+  /// Resolves attribute names (e.g. {"x","y"}) against `schema`. All names
+  /// must exist; at least one is required.
+  static JoinKey resolve(const Schema& schema,
+                         const std::vector<std::string>& attr_names);
+
+  std::size_t arity() const { return offsets_.size(); }
+  const std::vector<std::size_t>& attr_indices() const { return indices_; }
+
+  /// Writes the row's canonical key lanes into `lanes` (must have arity()
+  /// capacity).
+  void extract_lanes(const std::byte* row, std::uint64_t* lanes) const {
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      lanes[i] = key_lane_from_bytes(types_[i], row + offsets_[i]);
+    }
+  }
+
+  /// Hash of a row's key with the given salt (distinct salts give the
+  /// independent functions h1, h2 and the in-memory table hash).
+  std::uint64_t hash_row(const std::byte* row, std::uint64_t salt) const;
+
+  bool lanes_equal(const std::uint64_t* a, const std::uint64_t* b) const {
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  /// Two keys over different schemas are compatible when the attribute
+  /// canonicalization matches pairwise (so f32 x joins f64 x).
+  bool compatible_with(const JoinKey& other) const {
+    return arity() == other.arity();
+  }
+
+ private:
+  std::vector<std::size_t> indices_;
+  std::vector<std::size_t> offsets_;
+  std::vector<AttrType> types_;
+};
+
+/// Well-known salts for the three hashing contexts.
+inline constexpr std::uint64_t kSaltInMemory = 0x1111111111111111ull;
+inline constexpr std::uint64_t kSaltGraceH1 = 0x2222222222222222ull;
+inline constexpr std::uint64_t kSaltGraceH2 = 0x3333333333333333ull;
+
+}  // namespace orv

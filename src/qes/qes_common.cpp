@@ -1,0 +1,75 @@
+#include "common/strings.hpp"
+#include "qes/qes.hpp"
+
+namespace orv {
+
+SubTable filter_rows(const SubTable& st, const Schema& schema,
+                     const std::vector<AttrRange>& ranges) {
+  Rect pred = Rect::unbounded(schema.num_attrs());
+  bool constrained = false;
+  for (const auto& r : ranges) {
+    if (auto idx = schema.index_of(r.attr)) {
+      pred[*idx] = pred[*idx].intersect(r.range);
+      constrained = true;
+    }
+  }
+  if (!constrained) {
+    SubTable copy(st.schema_ptr(), st.id());
+    auto bytes = st.bytes();
+    copy.adopt_bytes({bytes.begin(), bytes.end()});
+    copy.set_bounds(st.bounds());
+    return copy;
+  }
+  SubTable out(st.schema_ptr(), st.id());
+  for (std::size_t r = 0; r < st.num_rows(); ++r) {
+    if (st.row_in(r, pred)) {
+      out.append_row({st.row(r), st.record_size()});
+    }
+  }
+  out.compute_bounds();
+  return out;
+}
+
+ReferenceResult reference_join(
+    const MetaDataService& meta,
+    const std::vector<std::shared_ptr<ChunkStore>>& stores,
+    const JoinQuery& query) {
+  auto load_table = [&](TableId table) {
+    SubTable all(meta.table_schema(table), SubTableId{table, 0});
+    for (const auto& cm : meta.chunks(table)) {
+      const auto bytes = stores.at(cm.location.storage_node)->read(cm.location);
+      SubTable st = extract_chunk(bytes);
+      SubTable filtered = filter_rows(st, st.schema(), query.ranges);
+      for (std::size_t r = 0; r < filtered.num_rows(); ++r) {
+        all.append_row({filtered.row(r), filtered.record_size()});
+      }
+    }
+    return all;
+  };
+  const SubTable left = load_table(query.left_table);
+  const SubTable right = load_table(query.right_table);
+  const SubTable joined =
+      hash_join(left, right, query.join_attrs, SubTableId{0, 0});
+  ReferenceResult res;
+  res.result_tuples = joined.num_rows();
+  res.result_fingerprint = joined.unordered_fingerprint();
+  return res;
+}
+
+std::string QesResult::to_string() const {
+  return strformat(
+      "elapsed=%.3fs tuples=%llu (partition=%.3fs join=%.3fs) "
+      "net=%s scratch(w/r)=%s/%s fetches=%llu builds=%llu "
+      "cache(h/m/e)=%llu/%llu/%llu",
+      elapsed, (unsigned long long)result_tuples, partition_phase, join_phase,
+      human_bytes(static_cast<std::uint64_t>(network_bytes)).c_str(),
+      human_bytes(static_cast<std::uint64_t>(scratch_write_bytes)).c_str(),
+      human_bytes(static_cast<std::uint64_t>(scratch_read_bytes)).c_str(),
+      (unsigned long long)subtable_fetches,
+      (unsigned long long)hash_tables_built,
+      (unsigned long long)cache_stats.hits,
+      (unsigned long long)cache_stats.misses,
+      (unsigned long long)cache_stats.evictions);
+}
+
+}  // namespace orv

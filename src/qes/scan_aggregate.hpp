@@ -1,0 +1,37 @@
+#pragma once
+
+// Distributed scan-aggregate QES: the paper's future-work DDS extension
+// ("a view definition may involve aggregation operations such as AVG or
+// SUM") over a *single* virtual table.
+//
+// Each storage node's QES streams its local chunks through the BDS,
+// filters, and folds rows into a local partial aggregator (mergeable
+// sum/count/min/max states); the small partial states then travel to a
+// coordinator compute node and merge. Network traffic is proportional to
+// the number of groups, not the number of rows.
+
+#include "bds/bds.hpp"
+#include "cluster/cluster.hpp"
+#include "dds/aggregate.hpp"
+#include "meta/metadata.hpp"
+#include "qes/qes.hpp"
+
+namespace orv {
+
+struct AggregateQuery {
+  TableId table = 0;
+  std::vector<AttrRange> ranges;
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggs;
+};
+
+/// Runs the aggregation on the simulated cluster; the final (small) table
+/// is written to *out if non-null. QesResult::result_tuples counts the
+/// output groups; network bytes reflect partial-state shipping only.
+QesResult run_distributed_aggregate(Cluster& cluster, BdsService& bds,
+                                    const MetaDataService& meta,
+                                    const AggregateQuery& query,
+                                    const QesOptions& options = {},
+                                    SubTable* out = nullptr);
+
+}  // namespace orv

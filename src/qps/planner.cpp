@@ -1,0 +1,56 @@
+#include "qps/planner.hpp"
+
+#include "common/strings.hpp"
+
+namespace orv {
+
+const char* algorithm_name(Algorithm a) {
+  return a == Algorithm::IndexedJoin ? "IndexedJoin" : "GraceHash";
+}
+
+std::string PlanDecision::to_string() const {
+  return strformat("choose %s: IJ %s | GH %s", algorithm_name(chosen),
+                   ij.to_string().c_str(), gh.to_string().c_str());
+}
+
+PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
+                                std::size_t rs_left, std::size_t rs_right,
+                                double cpu_factor) const {
+  PlanDecision d;
+  d.params = CostParams::from(cluster_, data, rs_left, rs_right, cpu_factor);
+  d.ij = ij_cost(d.params);
+  d.gh = gh_cost(d.params);
+  d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
+                                          : Algorithm::GraceHash;
+  return d;
+}
+
+PlanDecision QueryPlanner::plan(const MetaDataService& meta,
+                                const ConnectivityGraph& graph,
+                                const JoinQuery& query,
+                                double cpu_factor) const {
+  ConnectivityStats data;
+  data.T = meta.table_rows(query.left_table);
+  const std::size_t n_left = meta.num_chunks(query.left_table);
+  const std::size_t n_right = meta.num_chunks(query.right_table);
+  data.c_R = n_left ? data.T / n_left : 0;
+  data.c_S = n_right ? meta.table_rows(query.right_table) / n_right : 0;
+  data.num_edges = graph.num_edges();
+  data.num_components = graph.num_components();
+  return plan(data, meta.table_schema(query.left_table)->record_size(),
+              meta.table_schema(query.right_table)->record_size(),
+              cpu_factor);
+}
+
+QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
+                                BdsService& bds, const MetaDataService& meta,
+                                const ConnectivityGraph& graph,
+                                const JoinQuery& query,
+                                const QesOptions& options) const {
+  if (decision.chosen == Algorithm::IndexedJoin) {
+    return run_indexed_join(cluster, bds, meta, graph, query, options);
+  }
+  return run_grace_hash(cluster, bds, meta, query, options);
+}
+
+}  // namespace orv

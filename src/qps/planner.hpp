@@ -1,0 +1,57 @@
+#pragma once
+
+// Query Planning Service (paper Section 4): chooses between Query
+// Execution Systems (Indexed Join vs Grace Hash) using the Section 5 cost
+// models, given dataset parameters, system parameters and the query.
+
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "graph/connectivity.hpp"
+#include "qes/qes.hpp"
+
+namespace orv {
+
+enum class Algorithm { IndexedJoin, GraceHash };
+
+const char* algorithm_name(Algorithm a);
+
+struct PlanDecision {
+  Algorithm chosen = Algorithm::IndexedJoin;
+  CostBreakdown ij;
+  CostBreakdown gh;
+  CostParams params;
+
+  double predicted_seconds() const {
+    return chosen == Algorithm::IndexedJoin ? ij.total() : gh.total();
+  }
+  std::string to_string() const;
+};
+
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+
+  /// Plans from precomputed dataset statistics (closed-form path).
+  PlanDecision plan(const ConnectivityStats& data, std::size_t rs_left,
+                    std::size_t rs_right, double cpu_factor = 1.0) const;
+
+  /// Plans from live metadata + the connectivity graph (measured path):
+  /// derives T, c_R, c_S, n_e from what is actually stored.
+  PlanDecision plan(const MetaDataService& meta,
+                    const ConnectivityGraph& graph, const JoinQuery& query,
+                    double cpu_factor = 1.0) const;
+
+  /// Runs the chosen algorithm.
+  QesResult execute(const PlanDecision& decision, Cluster& cluster,
+                    BdsService& bds, const MetaDataService& meta,
+                    const ConnectivityGraph& graph, const JoinQuery& query,
+                    const QesOptions& options = {}) const;
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  ClusterSpec cluster_;
+};
+
+}  // namespace orv

@@ -1,0 +1,432 @@
+#include "query/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Number, Symbol, End };
+  Kind kind = Kind::End;
+  std::string text;   // idents upper-cased copy in `upper`
+  std::string upper;
+  double number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument(strformat("query syntax error at position %zu: %s",
+                                    current_.pos, what.c_str()));
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_.kind = Token::Kind::End;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::Ident;
+      current_.text = text_.substr(start, pos_ - start);
+      current_.upper = current_.text;
+      for (auto& ch : current_.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      std::size_t start = pos_;
+      if (text_[pos_] == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' ||
+              ((text_[pos_] == '+' || text_[pos_] == '-') &&
+               (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      current_.kind = Token::Kind::Number;
+      current_.text = text_.substr(start, pos_ - start);
+      try {
+        current_.number = std::stod(current_.text);
+      } catch (...) {
+        throw InvalidArgument(strformat(
+            "query syntax error at position %zu: bad number '%s'", start,
+            current_.text.c_str()));
+      }
+      return;
+    }
+    // Multi-char comparison operators.
+    if ((c == '<' || c == '>') && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] == '=') {
+      current_.kind = Token::Kind::Symbol;
+      current_.text = text_.substr(pos_, 2);
+      pos_ += 2;
+      return;
+    }
+    current_.kind = Token::Kind::Symbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+bool is_keyword(const Token& t, const char* kw) {
+  return t.kind == Token::Kind::Ident && t.upper == kw;
+}
+
+std::string expect_ident(Lexer& lex, const char* what) {
+  if (lex.peek().kind != Token::Kind::Ident) {
+    lex.fail(std::string("expected ") + what);
+  }
+  return lex.take().text;
+}
+
+double expect_number(Lexer& lex) {
+  if (lex.peek().kind != Token::Kind::Number) lex.fail("expected a number");
+  return lex.take().number;
+}
+
+void expect_symbol(Lexer& lex, const char* sym) {
+  if (lex.peek().kind != Token::Kind::Symbol || lex.peek().text != sym) {
+    lex.fail(std::string("expected '") + sym + "'");
+  }
+  lex.take();
+}
+
+std::optional<AggSpec::Fn> agg_fn_of(const Token& t) {
+  if (t.kind != Token::Kind::Ident) return std::nullopt;
+  if (t.upper == "SUM") return AggSpec::Fn::Sum;
+  if (t.upper == "AVG") return AggSpec::Fn::Avg;
+  if (t.upper == "MIN") return AggSpec::Fn::Min;
+  if (t.upper == "MAX") return AggSpec::Fn::Max;
+  if (t.upper == "COUNT") return AggSpec::Fn::Count;
+  return std::nullopt;
+}
+
+ParsedQuery::Item parse_item(Lexer& lex) {
+  ParsedQuery::Item item;
+  const Token first = lex.take();
+  if (first.kind != Token::Kind::Ident) {
+    lex.fail("expected a column or aggregate");
+  }
+  const auto fn = agg_fn_of(first);
+  if (fn && lex.peek().kind == Token::Kind::Symbol &&
+      lex.peek().text == "(") {
+    lex.take();  // (
+    item.is_aggregate = true;
+    item.fn = *fn;
+    if (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == "*") {
+      if (*fn != AggSpec::Fn::Count) lex.fail("only COUNT(*) may use '*'");
+      lex.take();
+      item.column.clear();
+    } else {
+      item.column = expect_ident(lex, "an attribute inside the aggregate");
+    }
+    expect_symbol(lex, ")");
+  } else {
+    item.column = first.text;
+  }
+  if (is_keyword(lex.peek(), "AS")) {
+    lex.take();
+    item.alias = expect_ident(lex, "an alias after AS");
+  }
+  return item;
+}
+
+AttrRange parse_predicate(Lexer& lex) {
+  AttrRange range;
+  range.attr = expect_ident(lex, "an attribute in WHERE");
+  const Token op = lex.take();
+  if (is_keyword(op, "IN")) {
+    expect_symbol(lex, "[");
+    range.range.lo = expect_number(lex);
+    expect_symbol(lex, ",");
+    range.range.hi = expect_number(lex);
+    expect_symbol(lex, "]");
+    return range;
+  }
+  if (is_keyword(op, "BETWEEN")) {
+    range.range.lo = expect_number(lex);
+    if (!is_keyword(lex.peek(), "AND")) lex.fail("expected AND in BETWEEN");
+    lex.take();
+    range.range.hi = expect_number(lex);
+    return range;
+  }
+  if (op.kind == Token::Kind::Symbol) {
+    const double v = expect_number(lex);
+    if (op.text == "<") {
+      range.range.hi = std::nexttoward(v, -1e300);
+    } else if (op.text == "<=") {
+      range.range.hi = v;
+    } else if (op.text == ">") {
+      range.range.lo = std::nexttoward(v, 1e300);
+    } else if (op.text == ">=") {
+      range.range.lo = v;
+    } else if (op.text == "=") {
+      range.range.lo = range.range.hi = v;
+    } else {
+      lex.fail("unknown comparison operator '" + op.text + "'");
+    }
+    return range;
+  }
+  lex.fail("expected IN, BETWEEN or a comparison");
+}
+
+}  // namespace
+
+ParsedQuery parse_query(const std::string& text) {
+  Lexer lex(text);
+  ParsedQuery q;
+
+  if (!is_keyword(lex.peek(), "SELECT")) lex.fail("expected SELECT");
+  lex.take();
+
+  if (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == "*") {
+    lex.take();
+    q.select_all = true;
+  } else {
+    q.items.push_back(parse_item(lex));
+    while (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == ",") {
+      lex.take();
+      q.items.push_back(parse_item(lex));
+    }
+  }
+
+  if (!is_keyword(lex.peek(), "FROM")) lex.fail("expected FROM");
+  lex.take();
+  q.from = expect_ident(lex, "a table or view name after FROM");
+
+  if (is_keyword(lex.peek(), "WHERE")) {
+    lex.take();
+    q.where.push_back(parse_predicate(lex));
+    while (is_keyword(lex.peek(), "AND")) {
+      lex.take();
+      q.where.push_back(parse_predicate(lex));
+    }
+  }
+
+  if (is_keyword(lex.peek(), "GROUP")) {
+    lex.take();
+    if (!is_keyword(lex.peek(), "BY")) lex.fail("expected BY after GROUP");
+    lex.take();
+    q.group_by.push_back(expect_ident(lex, "a column after GROUP BY"));
+    while (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == ",") {
+      lex.take();
+      q.group_by.push_back(expect_ident(lex, "a column"));
+    }
+  }
+
+  if (is_keyword(lex.peek(), "HAVING")) {
+    lex.take();
+    ParsedQuery::Having having;
+    const Token fn_tok = lex.take();
+    const auto fn = agg_fn_of(fn_tok);
+    if (!fn) lex.fail("expected an aggregate function after HAVING");
+    having.fn = *fn;
+    expect_symbol(lex, "(");
+    if (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == "*") {
+      if (*fn != AggSpec::Fn::Count) lex.fail("only COUNT(*) may use '*'");
+      lex.take();
+    } else {
+      having.attr = expect_ident(lex, "an attribute");
+    }
+    expect_symbol(lex, ")");
+    const Token op = lex.take();
+    if (op.kind != Token::Kind::Symbol ||
+        (op.text != "<" && op.text != "<=" && op.text != ">" &&
+         op.text != ">=" && op.text != "=")) {
+      lex.fail("expected a comparison after the HAVING aggregate");
+    }
+    having.op = op.text;
+    having.value = expect_number(lex);
+    q.having = having;
+  }
+
+  if (is_keyword(lex.peek(), "ORDER")) {
+    lex.take();
+    if (!is_keyword(lex.peek(), "BY")) lex.fail("expected BY after ORDER");
+    lex.take();
+    while (true) {
+      SortKey key;
+      key.attr = expect_ident(lex, "a column after ORDER BY");
+      if (is_keyword(lex.peek(), "ASC")) {
+        lex.take();
+      } else if (is_keyword(lex.peek(), "DESC")) {
+        lex.take();
+        key.descending = true;
+      }
+      q.order_by.push_back(std::move(key));
+      if (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == ",") {
+        lex.take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (is_keyword(lex.peek(), "LIMIT")) {
+    lex.take();
+    const double n = expect_number(lex);
+    if (n < 1 || n != static_cast<double>(static_cast<std::uint64_t>(n))) {
+      lex.fail("LIMIT needs a positive integer");
+    }
+    q.limit = static_cast<std::uint64_t>(n);
+  }
+
+  if (lex.peek().kind == Token::Kind::Symbol && lex.peek().text == ";") {
+    lex.take();
+  }
+  if (lex.peek().kind != Token::Kind::End) {
+    lex.fail("unexpected trailing input '" + lex.peek().text + "'");
+  }
+  return q;
+}
+
+std::string ParsedQuery::to_string() const {
+  std::string s = "SELECT ";
+  if (select_all) {
+    s += "*";
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) s += ", ";
+      if (items[i].is_aggregate) {
+        s += std::string(AggSpec::fn_name(items[i].fn)) + "(" +
+             (items[i].column.empty() ? "*" : items[i].column) + ")";
+      } else {
+        s += items[i].column;
+      }
+      if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+    }
+  }
+  s += " FROM " + from;
+  return s;
+}
+
+ViewPtr bind_query(const ParsedQuery& query, ViewPtr from_view,
+                   const MetaDataService& meta) {
+  ORV_REQUIRE(from_view != nullptr, "bind_query needs a FROM view");
+  ViewPtr view = std::move(from_view);
+
+  if (!query.where.empty()) {
+    view = ViewDef::select(view, query.where);
+  }
+
+  const bool has_agg =
+      !query.select_all &&
+      std::any_of(query.items.begin(), query.items.end(),
+                  [](const auto& it) { return it.is_aggregate; });
+
+  if (has_agg || !query.group_by.empty() || query.having.has_value()) {
+    std::vector<AggSpec> aggs;
+    for (const auto& item : query.items) {
+      if (!item.is_aggregate) {
+        // Plain columns in an aggregate query must be group-by columns.
+        const bool grouped =
+            std::find(query.group_by.begin(), query.group_by.end(),
+                      item.column) != query.group_by.end();
+        ORV_REQUIRE(grouped, "non-aggregated column '" + item.column +
+                                 "' must appear in GROUP BY");
+        continue;
+      }
+      AggSpec spec;
+      spec.fn = item.fn;
+      spec.attr = item.column;
+      spec.as = !item.alias.empty()
+                    ? item.alias
+                    : (std::string(AggSpec::fn_name(item.fn)) + "_" +
+                       (item.column.empty() ? "all" : item.column));
+      // Normalize to lower-case-ish output name for predictability.
+      aggs.push_back(std::move(spec));
+    }
+    // HAVING needs its aggregate computed even if not selected.
+    std::string having_col;
+    if (query.having) {
+      having_col = std::string(AggSpec::fn_name(query.having->fn)) + "_" +
+                   (query.having->attr.empty() ? "all" : query.having->attr);
+      bool present = false;
+      for (const auto& a : aggs) {
+        if (a.fn == query.having->fn && a.attr == query.having->attr) {
+          having_col = a.as;
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        aggs.push_back(AggSpec{query.having->fn, query.having->attr,
+                               having_col});
+      }
+    }
+    ViewPtr agg_view =
+        ViewDef::aggregate(view, query.group_by, std::move(aggs));
+    view = std::move(agg_view);
+    if (query.having) {
+      AttrRange range;
+      range.attr = having_col;
+      const double v = query.having->value;
+      if (query.having->op == "<") {
+        range.range.hi = std::nexttoward(v, -1e300);
+      } else if (query.having->op == "<=") {
+        range.range.hi = v;
+      } else if (query.having->op == ">") {
+        range.range.lo = std::nexttoward(v, 1e300);
+      } else if (query.having->op == ">=") {
+        range.range.lo = v;
+      } else {
+        range.range.lo = range.range.hi = v;
+      }
+      view = ViewDef::select(view, {range});
+    }
+    if (!query.order_by.empty() || query.limit > 0) {
+      view = ViewDef::sort(view, query.order_by, query.limit);
+    }
+    return view;
+  }
+
+  if (!query.select_all) {
+    std::vector<std::string> columns;
+    for (const auto& item : query.items) columns.push_back(item.column);
+    view = ViewDef::project(view, columns);
+  }
+  if (!query.order_by.empty() || query.limit > 0) {
+    view = ViewDef::sort(view, query.order_by, query.limit);
+  }
+  (void)meta;
+  return view;
+}
+
+}  // namespace orv

@@ -1,0 +1,69 @@
+#pragma once
+
+// A small SQL-ish query language over registered views and tables, enough
+// for the paper's examples:
+//
+//   SELECT * FROM T1 WHERE x IN [0, 256] AND y IN [0, 512]
+//   SELECT wp, soil FROM V1
+//   SELECT reservoir, AVG(wp) AS avg_wp FROM V1 GROUP BY reservoir
+//          HAVING AVG(wp) > 0.5
+//
+// Grammar (case-insensitive keywords):
+//   query    := SELECT items FROM ident [WHERE conj] [GROUP BY idents]
+//               [HAVING aggref cmp number]
+//               [ORDER BY ident [ASC|DESC] (',' ident [ASC|DESC])*]
+//               [LIMIT integer]
+//   items    := '*' | item (',' item)*
+//   item     := ident | aggfn '(' (ident|'*') ')' [AS ident]
+//   conj     := pred (AND pred)*
+//   pred     := ident IN '[' number ',' number ']'
+//             | ident BETWEEN number AND number
+//             | ident ('<'|'<='|'>'|'>='|'=') number
+//   aggfn    := SUM | AVG | MIN | MAX | COUNT
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dds/view_def.hpp"
+
+namespace orv {
+
+/// Parsed query, independent of any catalog.
+struct ParsedQuery {
+  struct Item {
+    bool is_aggregate = false;
+    std::string column;           // plain column, or aggregate argument
+    AggSpec::Fn fn = AggSpec::Fn::Sum;
+    std::string alias;            // output name (defaults derived)
+  };
+  struct Having {
+    AggSpec::Fn fn = AggSpec::Fn::Avg;
+    std::string attr;
+    std::string op;  // "<", "<=", ">", ">=", "="
+    double value = 0;
+  };
+
+  bool select_all = false;
+  std::vector<Item> items;
+  std::string from;
+  std::vector<AttrRange> where;
+  std::vector<std::string> group_by;
+  std::optional<Having> having;
+  std::vector<SortKey> order_by;  // ORDER BY col [ASC|DESC], ...
+  std::uint64_t limit = 0;        // LIMIT n; 0 = none
+
+  std::string to_string() const;
+};
+
+/// Parses the query text; throws InvalidArgument with position info on
+/// syntax errors.
+ParsedQuery parse_query(const std::string& text);
+
+/// Binds a parsed query to a view (the FROM target resolved by the caller)
+/// and produces the operator tree to execute. HAVING becomes a range
+/// selection over the aggregate output.
+ViewPtr bind_query(const ParsedQuery& query, ViewPtr from_view,
+                   const MetaDataService& meta);
+
+}  // namespace orv

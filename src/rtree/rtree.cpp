@@ -1,0 +1,351 @@
+#include "rtree/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace orv {
+
+namespace {
+
+/// Volume that saturates instead of producing NaN for degenerate boxes.
+double safe_volume(const Rect& r) {
+  double v = 1.0;
+  for (std::size_t d = 0; d < r.dims(); ++d) {
+    const double len = r[d].length();
+    if (!std::isfinite(len)) return std::numeric_limits<double>::infinity();
+    v *= (len < 0 ? 0.0 : len);
+  }
+  return v;
+}
+
+double enlargement(const Rect& box, const Rect& add) {
+  return safe_volume(box.unite(add)) - safe_volume(box);
+}
+
+double center(const Rect& r, std::size_t d) {
+  return 0.5 * (r[d].lo + r[d].hi);
+}
+
+}  // namespace
+
+RTree::RTree(std::size_t dims, std::size_t max_entries)
+    : dims_(dims), max_entries_(max_entries) {
+  ORV_REQUIRE(dims >= 1, "RTree needs at least one dimension");
+  ORV_REQUIRE(max_entries >= 4, "RTree fan-out must be at least 4");
+}
+
+Rect RTree::node_box(const Node& node) {
+  ORV_CHECK(!node.entries.empty(), "node_box of empty node");
+  Rect box = node.entries.front().box;
+  for (std::size_t i = 1; i < node.entries.size(); ++i) {
+    box = box.unite(node.entries[i].box);
+  }
+  return box;
+}
+
+void RTree::insert(const Rect& box, std::uint64_t value) {
+  ORV_REQUIRE(box.dims() == dims_, "box dimension mismatch");
+  Entry entry;
+  entry.box = box;
+  entry.value = value;
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+  }
+
+  // Recursive insert returning a split sibling, expressed iteratively via a
+  // small lambda-recursion helper.
+  struct Inserter {
+    RTree* tree;
+    std::unique_ptr<Node> operator()(Node& node, Entry&& e) {
+      if (node.leaf) {
+        node.entries.push_back(std::move(e));
+      } else {
+        // Guttman ChooseLeaf: minimal enlargement, ties by smaller volume.
+        std::size_t best = 0;
+        double best_enlarge = std::numeric_limits<double>::infinity();
+        double best_volume = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < node.entries.size(); ++i) {
+          const double en = enlargement(node.entries[i].box, e.box);
+          const double vol = safe_volume(node.entries[i].box);
+          if (en < best_enlarge ||
+              (en == best_enlarge && vol < best_volume)) {
+            best = i;
+            best_enlarge = en;
+            best_volume = vol;
+          }
+        }
+        auto sibling = (*this)(*node.entries[best].child, std::move(e));
+        node.entries[best].box = node_box(*node.entries[best].child);
+        if (sibling) {
+          Entry se;
+          se.box = node_box(*sibling);
+          se.child = std::move(sibling);
+          node.entries.push_back(std::move(se));
+        }
+      }
+      if (node.entries.size() > tree->max_entries_) return tree->split(node);
+      return nullptr;
+    }
+  } inserter{this};
+
+  auto sibling = inserter(*root_, std::move(entry));
+  if (sibling) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.box = node_box(*root_);
+    left.child = std::move(root_);
+    Entry right;
+    right.box = node_box(*sibling);
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<RTree::Node> RTree::split(Node& node) {
+  // Guttman quadratic split. For degenerate (infinite) boxes fall back to a
+  // balanced split along the dimension with the largest center spread.
+  auto entries = std::move(node.entries);
+  node.entries.clear();
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node.leaf;
+
+  bool finite = true;
+  for (const auto& e : entries) {
+    if (!std::isfinite(safe_volume(e.box))) {
+      finite = false;
+      break;
+    }
+  }
+
+  if (!finite) {
+    std::size_t best_dim = 0;
+    double best_spread = -1.0;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -lo;
+      for (const auto& e : entries) {
+        const double c = center(e.box, d);
+        if (std::isfinite(c)) {
+          lo = std::min(lo, c);
+          hi = std::max(hi, c);
+        }
+      }
+      const double spread = hi - lo;
+      if (std::isfinite(spread) && spread > best_spread) {
+        best_spread = spread;
+        best_dim = d;
+      }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [best_dim](const Entry& a, const Entry& b) {
+                       return center(a.box, best_dim) < center(b.box, best_dim);
+                     });
+    const std::size_t half = entries.size() / 2;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      (i < half ? node : *sibling).entries.push_back(std::move(entries[i]));
+    }
+    return sibling;
+  }
+
+  // PickSeeds: pair wasting the most volume.
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = safe_volume(entries[i].box.unite(entries[j].box)) -
+                           safe_volume(entries[i].box) -
+                           safe_volume(entries[j].box);
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  std::vector<bool> assigned(entries.size(), false);
+  node.entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+  assigned[seed_a] = assigned[seed_b] = true;
+  Rect box_a = node.entries.front().box;
+  Rect box_b = sibling->entries.front().box;
+  std::size_t remaining = entries.size() - 2;
+  const std::size_t min_fill = max_entries_ / 2;
+
+  while (remaining > 0) {
+    // Force assignment if one side must take all the rest to reach min fill.
+    if (node.entries.size() + remaining == min_fill) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          box_a = box_a.unite(entries[i].box);
+          node.entries.push_back(std::move(entries[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (sibling->entries.size() + remaining == min_fill) {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!assigned[i]) {
+          box_b = box_b.unite(entries[i].box);
+          sibling->entries.push_back(std::move(entries[i]));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: entry with the largest preference difference.
+    std::size_t pick = entries.size();
+    double best_diff = -1.0;
+    double d_a_pick = 0.0;
+    double d_b_pick = 0.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (assigned[i]) continue;
+      const double da = enlargement(box_a, entries[i].box);
+      const double db = enlargement(box_b, entries[i].box);
+      const double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+    ORV_CHECK(pick < entries.size(), "quadratic split lost an entry");
+    const bool to_a =
+        d_a_pick < d_b_pick ||
+        (d_a_pick == d_b_pick && node.entries.size() <= sibling->entries.size());
+    if (to_a) {
+      box_a = box_a.unite(entries[pick].box);
+      node.entries.push_back(std::move(entries[pick]));
+    } else {
+      box_b = box_b.unite(entries[pick].box);
+      sibling->entries.push_back(std::move(entries[pick]));
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return sibling;
+}
+
+void RTree::bulk_load(std::vector<std::pair<Rect, std::uint64_t>> entries) {
+  root_.reset();
+  size_ = entries.size();
+  if (entries.empty()) return;
+  for (const auto& [box, value] : entries) {
+    ORV_REQUIRE(box.dims() == dims_, "box dimension mismatch in bulk_load");
+  }
+
+  // Build leaves: recursively sort-tile along successive dimensions.
+  std::vector<Entry> level;
+  {
+    std::vector<std::pair<Rect, std::uint64_t>>& es = entries;
+    // Sort by center of dim 0, then tile; within each tile sort by dim 1 ...
+    // A single multi-pass sort keyed lexicographically on quantized centers
+    // approximates STR well enough for packing.
+    std::stable_sort(es.begin(), es.end(),
+                     [this](const auto& a, const auto& b) {
+                       for (std::size_t d = 0; d < dims_; ++d) {
+                         const double ca = center(a.first, d);
+                         const double cb = center(b.first, d);
+                         if (ca != cb) return ca < cb;
+                       }
+                       return a.second < b.second;
+                     });
+    for (std::size_t i = 0; i < es.size(); i += max_entries_) {
+      auto leaf = std::make_unique<Node>();
+      leaf->leaf = true;
+      const std::size_t end = std::min(es.size(), i + max_entries_);
+      for (std::size_t j = i; j < end; ++j) {
+        Entry e;
+        e.box = es[j].first;
+        e.value = es[j].second;
+        leaf->entries.push_back(std::move(e));
+      }
+      Entry up;
+      up.box = node_box(*leaf);
+      up.child = std::move(leaf);
+      level.push_back(std::move(up));
+    }
+  }
+
+  // Build internal levels until one node remains.
+  while (level.size() > 1) {
+    std::vector<Entry> next;
+    for (std::size_t i = 0; i < level.size(); i += max_entries_) {
+      auto node = std::make_unique<Node>();
+      node->leaf = false;
+      const std::size_t end = std::min(level.size(), i + max_entries_);
+      for (std::size_t j = i; j < end; ++j) {
+        node->entries.push_back(std::move(level[j]));
+      }
+      Entry up;
+      up.box = node_box(*node);
+      up.child = std::move(node);
+      next.push_back(std::move(up));
+    }
+    level = std::move(next);
+  }
+
+  root_ = std::move(level.front().child);
+}
+
+void RTree::query(
+    const Rect& range,
+    const std::function<void(const Rect&, std::uint64_t)>& fn) const {
+  ORV_REQUIRE(range.dims() == dims_, "query dimension mismatch");
+  if (root_) query_node(*root_, range, fn);
+}
+
+std::vector<std::uint64_t> RTree::query(const Rect& range) const {
+  std::vector<std::uint64_t> out;
+  query(range, [&out](const Rect&, std::uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+void RTree::query_node(
+    const Node& node, const Rect& range,
+    const std::function<void(const Rect&, std::uint64_t)>& fn) const {
+  for (const auto& e : node.entries) {
+    if (!e.box.overlaps(range)) continue;
+    if (node.leaf) {
+      fn(e.box, e.value);
+    } else {
+      query_node(*e.child, range, fn);
+    }
+  }
+}
+
+std::size_t RTree::height() const {
+  if (!root_) return 0;
+  std::size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ORV_CHECK(!n->entries.empty(), "internal node with no entries");
+    n = n->entries.front().child.get();
+    ++h;
+  }
+  return h;
+}
+
+std::size_t RTree::count_nodes(const Node& node) const {
+  std::size_t count = 1;
+  if (!node.leaf) {
+    for (const auto& e : node.entries) count += count_nodes(*e.child);
+  }
+  return count;
+}
+
+std::size_t RTree::node_count() const {
+  return root_ ? count_nodes(*root_) : 0;
+}
+
+}  // namespace orv

@@ -1,0 +1,83 @@
+#pragma once
+
+// R-tree (Guttman, SIGMOD'84) over axis-aligned boxes.
+//
+// Backs the MetaData Service: range predicates over chunk bounding boxes
+// resolve to matching chunk ids "efficiently using index structures such as
+// R-Trees" (paper Section 4). Values are opaque 64-bit ids.
+//
+// Supports dynamic insertion with quadratic split and a sort-tile bulk load
+// for the common build-once case.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "subtable/bounds.hpp"
+
+namespace orv {
+
+class RTree {
+ public:
+  /// `dims`: dimensionality of all indexed boxes. `max_entries`: node fan-out
+  /// (min fill is max_entries / 2 on splits).
+  explicit RTree(std::size_t dims, std::size_t max_entries = 16);
+
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+  ~RTree() = default;
+
+  std::size_t dims() const { return dims_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts one (box, value) pair. Boxes may duplicate and overlap freely.
+  void insert(const Rect& box, std::uint64_t value);
+
+  /// Builds the tree from scratch using sort-tile packing. Replaces any
+  /// existing content. Much faster and better-packed than repeated insert.
+  void bulk_load(std::vector<std::pair<Rect, std::uint64_t>> entries);
+
+  /// Invokes `fn` for every stored value whose box overlaps `range`.
+  void query(const Rect& range,
+             const std::function<void(const Rect&, std::uint64_t)>& fn) const;
+
+  /// Convenience: collects matching values.
+  std::vector<std::uint64_t> query(const Rect& range) const;
+
+  /// Tree height (0 for empty, 1 for a root-leaf).
+  std::size_t height() const;
+
+  /// Number of nodes (for tests/benchmarks of packing quality).
+  std::size_t node_count() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Rect box;
+    std::uint64_t value = 0;          // valid when child == nullptr (leaf)
+    std::unique_ptr<Node> child;      // valid for internal entries
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  void insert_impl(std::unique_ptr<Node>& root, Entry entry, bool as_leaf);
+  Node* choose_subtree(Node* node, const Rect& box,
+                       std::vector<Node*>& path) const;
+  std::unique_ptr<Node> split(Node& node);
+  static Rect node_box(const Node& node);
+  void query_node(const Node& node, const Rect& range,
+                  const std::function<void(const Rect&, std::uint64_t)>& fn)
+      const;
+  std::size_t count_nodes(const Node& node) const;
+
+  std::size_t dims_;
+  std::size_t max_entries_;
+  std::size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace orv

@@ -1,0 +1,125 @@
+#include "schema/schema.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace orv {
+
+std::size_t attr_size(AttrType type) {
+  switch (type) {
+    case AttrType::Int32:
+    case AttrType::Float32:
+      return 4;
+    case AttrType::Int64:
+    case AttrType::Float64:
+      return 8;
+  }
+  throw InvalidArgument("unknown AttrType " +
+                        std::to_string(static_cast<int>(type)));
+}
+
+const char* attr_type_name(AttrType type) {
+  switch (type) {
+    case AttrType::Int32: return "i32";
+    case AttrType::Int64: return "i64";
+    case AttrType::Float32: return "f32";
+    case AttrType::Float64: return "f64";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {
+  ORV_REQUIRE(!attrs_.empty(), "schema needs at least one attribute");
+  std::unordered_set<std::string> names;
+  offsets_.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    ORV_REQUIRE(!a.name.empty(), "attribute names must be non-empty");
+    ORV_REQUIRE(names.insert(a.name).second,
+                "duplicate attribute name: " + a.name);
+    offsets_.push_back(record_size_);
+    record_size_ += attr_size(a.type);
+  }
+}
+
+const Attribute& Schema::attr(std::size_t i) const {
+  ORV_REQUIRE(i < attrs_.size(), "attribute index out of range");
+  return attrs_[i];
+}
+
+std::size_t Schema::offset(std::size_t i) const {
+  ORV_REQUIRE(i < offsets_.size(), "attribute index out of range");
+  return offsets_[i];
+}
+
+std::optional<std::size_t> Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::require_index(const std::string& name) const {
+  if (auto idx = index_of(name)) return *idx;
+  throw NotFound("no attribute named '" + name + "' in schema " + to_string());
+}
+
+Schema Schema::project(const std::vector<std::size_t>& indices) const {
+  std::vector<Attribute> out;
+  out.reserve(indices.size());
+  for (auto i : indices) out.push_back(attr(i));
+  return Schema(std::move(out));
+}
+
+Schema Schema::join_result(const Schema& left, const Schema& right,
+                           const std::vector<std::size_t>& right_key_indices) {
+  std::vector<Attribute> out = left.attrs_;
+  std::unordered_set<std::size_t> keys(right_key_indices.begin(),
+                                       right_key_indices.end());
+  std::unordered_set<std::string> names;
+  for (const auto& a : out) names.insert(a.name);
+  for (std::size_t i = 0; i < right.num_attrs(); ++i) {
+    if (keys.count(i)) continue;
+    Attribute a = right.attr(i);
+    while (names.count(a.name)) a.name += "_r";
+    names.insert(a.name);
+    out.push_back(std::move(a));
+  }
+  return Schema(std::move(out));
+}
+
+void Schema::serialize(ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& a : attrs_) {
+    w.put_u8(static_cast<std::uint8_t>(a.type));
+    w.put_string(a.name);
+  }
+}
+
+Schema Schema::deserialize(ByteReader& r) {
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 5);  // type byte + string length prefix per attribute
+  std::vector<Attribute> attrs;
+  attrs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto type = static_cast<AttrType>(r.get_u8());
+    ORV_REQUIRE(static_cast<std::uint8_t>(type) <= 3,
+                "corrupt schema: bad attribute type");
+    std::string name = r.get_string();
+    attrs.push_back(Attribute{std::move(name), type});
+  }
+  return Schema(std::move(attrs));
+}
+
+std::string Schema::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += ",";
+    out += attrs_[i].name;
+    out += ":";
+    out += attr_type_name(attrs_[i].type);
+  }
+  return out;
+}
+
+}  // namespace orv

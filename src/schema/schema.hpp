@@ -1,0 +1,93 @@
+#pragma once
+
+// Relational schema for virtual tables and sub-tables.
+//
+// A Schema is an ordered list of typed attributes with a fixed-size,
+// packed, row-major record layout. Oil-reservoir tables look like
+// (x:f32, y:f32, z:f32, oilp:f32, ...) — up to 21 attributes per the paper.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace orv {
+
+enum class AttrType : std::uint8_t {
+  Int32 = 0,
+  Int64 = 1,
+  Float32 = 2,
+  Float64 = 3,
+};
+
+/// Size in bytes of one value of the given type.
+std::size_t attr_size(AttrType type);
+
+/// Human-readable type name ("f32", "i64", ...).
+const char* attr_type_name(AttrType type);
+
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::Float32;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Immutable attribute list with precomputed packed record layout.
+class Schema {
+ public:
+  /// Attribute names must be non-empty and unique (case-sensitive).
+  explicit Schema(std::vector<Attribute> attrs);
+
+  static SchemaPtr make(std::vector<Attribute> attrs) {
+    return std::make_shared<const Schema>(std::move(attrs));
+  }
+
+  std::size_t num_attrs() const { return attrs_.size(); }
+  const Attribute& attr(std::size_t i) const;
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Byte offset of attribute i within a record.
+  std::size_t offset(std::size_t i) const;
+
+  /// Packed record size in bytes (the paper's RS_R / RS_S).
+  std::size_t record_size() const { return record_size_; }
+
+  /// Index of the attribute with the given name, if present.
+  std::optional<std::size_t> index_of(const std::string& name) const;
+
+  /// Like index_of but throws NotFound with a helpful message.
+  std::size_t require_index(const std::string& name) const;
+
+  bool has(const std::string& name) const { return index_of(name).has_value(); }
+
+  /// Schema containing only the attributes at `indices`, in that order.
+  Schema project(const std::vector<std::size_t>& indices) const;
+
+  /// Schema for the natural-join result: all left attributes followed by the
+  /// right attributes that are not join keys; right-side name collisions get
+  /// a suffix.
+  static Schema join_result(const Schema& left, const Schema& right,
+                            const std::vector<std::size_t>& right_key_indices);
+
+  bool operator==(const Schema& other) const { return attrs_ == other.attrs_; }
+
+  void serialize(ByteWriter& w) const;
+  static Schema deserialize(ByteReader& r);
+
+  /// "x:f32,y:f32,z:f32,oilp:f32"
+  std::string to_string() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::vector<std::size_t> offsets_;
+  std::size_t record_size_ = 0;
+};
+
+}  // namespace orv

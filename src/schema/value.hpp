@@ -1,0 +1,55 @@
+#pragma once
+
+// Dynamically-typed scalar value matching AttrType, plus the key-lane
+// canonicalization used for equi-join keys.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "schema/schema.hpp"
+
+namespace orv {
+
+/// One scalar of any supported attribute type.
+class Value {
+ public:
+  Value() : v_(std::int32_t{0}) {}
+  Value(std::int32_t v) : v_(v) {}       // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) : v_(v) {}       // NOLINT
+  Value(float v) : v_(v) {}              // NOLINT
+  Value(double v) : v_(v) {}             // NOLINT
+
+  AttrType type() const;
+
+  /// Numeric widening view; exact for i32/f32/f64, may round for huge i64.
+  double as_double() const;
+
+  std::int64_t as_int64() const;
+
+  /// Reads a value of the given type from raw record bytes.
+  static Value read(AttrType type, const std::byte* p);
+
+  /// Writes this value (converted to `type`) into raw record bytes.
+  void write(AttrType type, std::byte* p) const;
+
+  /// Canonical 64-bit lane for hashing/equality in equi-joins. Floating
+  /// values normalize -0.0 to +0.0 so -0.0 joins with +0.0.
+  std::uint64_t key_lane() const;
+
+  bool operator==(const Value& other) const {
+    return key_lane() == other.key_lane() && type() == other.type();
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::int32_t, std::int64_t, float, double> v_;
+};
+
+/// Canonical key lane straight from record bytes (avoids Value round-trip on
+/// the join hot path).
+std::uint64_t key_lane_from_bytes(AttrType type, const std::byte* p);
+
+}  // namespace orv

@@ -1,0 +1,127 @@
+#pragma once
+
+// Bounded FIFO channel between simulated processes.
+//
+// The bound provides flow control: a sender blocks when the channel is
+// full, which is how a slow consumer (e.g. a compute node writing Grace
+// Hash buckets to its scratch disk) back-pressures a fast producer (a
+// storage node streaming records). close() wakes all blocked receivers
+// with "no more data".
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace orv::sim {
+
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` >= 1: number of buffered items.
+  Channel(Engine& engine, std::size_t capacity)
+      : engine_(engine), capacity_(capacity) {
+    ORV_REQUIRE(capacity >= 1, "channel capacity must be >= 1");
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  std::size_t size() const { return items_.size(); }
+  bool closed() const { return closed_; }
+
+  /// Awaitable send. Blocks while full; throws Error if the channel is (or
+  /// becomes) closed.
+  auto send(T value) {
+    struct Awaiter {
+      Channel* ch;
+      T value;
+      bool await_ready() {
+        if (ch->closed_) throw Error("send on closed channel");
+        return ch->items_.size() < ch->capacity_ && ch->parked_senders_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->parked_senders_.push_back(h);
+        ch->engine_.note_blocked(+1);
+      }
+      void await_resume() {
+        if (ch->closed_) throw Error("send on closed channel");
+        ch->push(std::move(value));
+      }
+    };
+    return Awaiter{this, std::move(value)};
+  }
+
+  /// Awaitable receive. Blocks while empty; returns nullopt once the
+  /// channel is closed and drained.
+  auto recv() {
+    struct Awaiter {
+      Channel* ch;
+      bool await_ready() const noexcept {
+        return !ch->items_.empty() || ch->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ch->parked_receivers_.push_back(h);
+        ch->engine_.note_blocked(+1);
+      }
+      std::optional<T> await_resume() {
+        if (ch->items_.empty()) {
+          ORV_CHECK(ch->closed_, "receiver woke on an empty open channel");
+          return std::nullopt;
+        }
+        T value = std::move(ch->items_.front());
+        ch->items_.pop_front();
+        ch->wake_one_sender();
+        return value;
+      }
+    };
+    return Awaiter{this};
+  }
+
+  /// Marks end-of-stream: blocked receivers wake with nullopt; subsequent
+  /// or blocked sends fail.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (auto h : parked_receivers_) {
+      engine_.note_blocked(-1);
+      engine_.schedule_now(h);
+    }
+    parked_receivers_.clear();
+    for (auto h : parked_senders_) {
+      engine_.note_blocked(-1);
+      engine_.schedule_now(h);  // resumes into the "closed" throw
+    }
+    parked_senders_.clear();
+  }
+
+ private:
+  void push(T value) {
+    items_.push_back(std::move(value));
+    if (!parked_receivers_.empty()) {
+      auto h = parked_receivers_.front();
+      parked_receivers_.pop_front();
+      engine_.note_blocked(-1);
+      engine_.schedule_now(h);
+    }
+  }
+
+  void wake_one_sender() {
+    if (items_.size() < capacity_ && !parked_senders_.empty()) {
+      auto h = parked_senders_.front();
+      parked_senders_.pop_front();
+      engine_.note_blocked(-1);
+      engine_.schedule_now(h);  // its await_resume pushes
+    }
+  }
+
+  Engine& engine_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> parked_receivers_;
+  std::deque<std::coroutine_handle<>> parked_senders_;
+};
+
+}  // namespace orv::sim

@@ -1,0 +1,161 @@
+#pragma once
+
+// Deterministic discrete-event simulation engine.
+//
+// Single-threaded: one event queue ordered by (virtual time, insertion
+// sequence), so identical inputs replay identically. Processes are
+// sim::Task coroutines; they advance virtual time by awaiting sleep(),
+// resource use, channel operations, or other tasks.
+//
+// The engine detects deadlock: if the event queue drains while coroutines
+// are still blocked on channels/events, run() throws.
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace orv::sim {
+
+using Time = double;  // virtual seconds
+
+class Engine;
+
+/// Shared completion state of a spawned root process.
+struct JoinState {
+  Engine* engine = nullptr;
+  std::string name;
+  bool done = false;
+  std::exception_ptr exception;
+  bool exception_observed = false;
+  std::vector<std::coroutine_handle<>> waiters;
+};
+
+/// Handle to a spawned process; copyable, join()-able from any task.
+class JoinHandle {
+ public:
+  JoinHandle() = default;
+  explicit JoinHandle(std::shared_ptr<JoinState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ && state_->done; }
+  const std::string& name() const { return state_->name; }
+
+  /// Awaitable: suspends until the process completes; rethrows its
+  /// exception, if any. (Defined after Engine.)
+  auto join() const;
+
+ private:
+  std::shared_ptr<JoinState> state_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute virtual time `t` (>= now).
+  void schedule(Time t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume at the current virtual time (after currently
+  /// queued same-time events).
+  void schedule_now(std::coroutine_handle<> h) { schedule(now_, h); }
+
+  /// Awaitable that resumes the caller `dt` virtual seconds later.
+  auto sleep(Time dt) {
+    struct Awaiter {
+      Engine* engine;
+      Time at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->schedule(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + (dt > 0 ? dt : 0)};
+  }
+
+  /// Awaitable that resumes at absolute virtual time `t` (immediately if
+  /// `t` has passed). Pairs with non-awaiting reserve() calls to pipeline
+  /// several resources: reserve each, then wait_until(max completion).
+  auto wait_until(Time t) {
+    struct Awaiter {
+      Engine* engine;
+      Time at;
+      bool await_ready() const noexcept { return at <= engine->now(); }
+      void await_suspend(std::coroutine_handle<> h) { engine->schedule(at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, t};
+  }
+
+  /// Starts a detached root process. The engine owns the coroutine frame;
+  /// the JoinHandle observes completion.
+  JoinHandle spawn(Task<> task, std::string name = "");
+
+  /// Runs until the event queue drains. Throws:
+  ///  - the first unobserved root-process exception, if any;
+  ///  - Error on deadlock (blocked coroutines with an empty queue).
+  void run();
+
+  /// Bookkeeping for blocking primitives (channels, events): a coroutine
+  /// suspended without a scheduled wake-up increments the blocked count.
+  void note_blocked(int delta) { blocked_ += delta; }
+  std::int64_t blocked_count() const { return blocked_; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t processes_spawned() const { return roots_.size(); }
+
+ private:
+  struct Scheduled {
+    Time time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Scheduled& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  Task<> run_root(Task<> inner, std::shared_ptr<JoinState> state);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::int64_t blocked_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_;
+  std::vector<Task<>> roots_;
+  std::vector<std::shared_ptr<JoinState>> states_;
+  bool running_ = false;
+};
+
+namespace detail {
+struct JoinAwaiter {
+  std::shared_ptr<JoinState> state;
+  bool await_ready() const noexcept { return state->done; }
+  void await_suspend(std::coroutine_handle<> h) {
+    state->waiters.push_back(h);
+    state->engine->note_blocked(+1);
+  }
+  void await_resume() const {
+    if (state->exception) {
+      state->exception_observed = true;
+      std::rethrow_exception(state->exception);
+    }
+  }
+};
+}  // namespace detail
+
+inline auto JoinHandle::join() const { return detail::JoinAwaiter{state_}; }
+
+}  // namespace orv::sim

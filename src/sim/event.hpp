@@ -1,0 +1,71 @@
+#pragma once
+
+// One-shot event: tasks wait until some task sets it. Used for phase
+// barriers (e.g. Grace Hash partition phase → bucket-join phase).
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace orv::sim {
+
+class Event {
+ public:
+  explicit Event(Engine& engine) : engine_(engine) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool is_set() const { return set_; }
+
+  /// Wakes every waiter at the current virtual time. Idempotent.
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) {
+      engine_.note_blocked(-1);
+      engine_.schedule_now(h);
+    }
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event->waiters_.push_back(h);
+        event->engine_.note_blocked(+1);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Count-down latch: set after `count` arrivals. Phase barrier for N
+/// producers signalling M consumers.
+class Latch {
+ public:
+  Latch(Engine& engine, std::size_t count) : event_(engine), count_(count) {
+    if (count_ == 0) event_.set();
+  }
+
+  void count_down() {
+    if (count_ > 0 && --count_ == 0) event_.set();
+  }
+
+  auto wait() { return event_.wait(); }
+  bool is_set() const { return event_.is_set(); }
+
+ private:
+  Event event_;
+  std::size_t count_;
+};
+
+}  // namespace orv::sim

@@ -1,0 +1,55 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace orv::sim {
+
+Resource::Resource(Engine& engine, std::string name, double rate,
+                   double per_op_latency)
+    : engine_(engine),
+      name_(std::move(name)),
+      rate_(rate),
+      per_op_latency_(per_op_latency) {
+  ORV_REQUIRE(rate > 0, "resource rate must be positive: " + name_);
+  ORV_REQUIRE(per_op_latency >= 0, "per-op latency must be >= 0: " + name_);
+}
+
+void Resource::set_rate(double rate) {
+  ORV_REQUIRE(rate > 0, "resource rate must be positive: " + name_);
+  rate_ = rate;
+}
+
+Time Resource::reserve(double amount) {
+  ORV_REQUIRE(amount >= 0, "cannot reserve a negative amount on " + name_);
+  const Time start = std::max(engine_.now(), free_at_);
+  const Time end = start + per_op_latency_ + amount / rate_;
+  free_at_ = end;
+  total_amount_ += amount;
+  busy_time_ += end - start;
+  ++num_ops_;
+  return end;
+}
+
+Time Resource::reserve_duration(double seconds) {
+  ORV_REQUIRE(seconds >= 0, "cannot reserve negative time on " + name_);
+  const Time start = std::max(engine_.now(), free_at_);
+  const Time end = start + per_op_latency_ + seconds;
+  free_at_ = end;
+  busy_time_ += end - start;
+  ++num_ops_;
+  return end;
+}
+
+Time reserve_all(std::span<Resource* const> resources, double amount) {
+  ORV_REQUIRE(!resources.empty(), "reserve_all needs at least one resource");
+  Time completion = 0;
+  for (Resource* r : resources) {
+    ORV_CHECK(r != nullptr, "null resource in reserve_all");
+    completion = std::max(completion, r->reserve(amount));
+  }
+  return completion;
+}
+
+}  // namespace orv::sim

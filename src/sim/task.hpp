@@ -1,0 +1,171 @@
+#pragma once
+
+// Coroutine task types for the discrete-event engine.
+//
+// sim::Task<T> is a lazily-started C++20 coroutine returning T (Task<> ==
+// Task<void>). Tasks compose two ways:
+//   T v = co_await child_task()   — structured: parent suspends until the
+//                                   child completes (same virtual instant
+//                                   unless the child awaits time).
+//   engine.spawn(task(), "name")  — detached root process (void only);
+//                                   join via the returned JoinHandle.
+// Exceptions propagate through co_await and JoinHandle::join().
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace orv::sim {
+
+class Engine;
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Symmetric transfer to whoever was waiting; noop if detached.
+      if (h.promise().continuation) return h.promise().continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  /// Awaiting starts the child immediately; resumes the awaiter on
+  /// completion and yields the child's return value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      T await_resume() const {
+        if (child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+        return std::move(*child.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() const {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace orv::sim

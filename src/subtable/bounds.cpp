@@ -1,0 +1,92 @@
+#include "subtable/bounds.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv {
+
+bool Rect::overlaps(const Rect& o) const {
+  ORV_REQUIRE(dims() == o.dims(), "rect dimension mismatch in overlaps()");
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (!iv_[d].overlaps(o.iv_[d])) return false;
+  }
+  return true;
+}
+
+bool Rect::contains(const Rect& o) const {
+  ORV_REQUIRE(dims() == o.dims(), "rect dimension mismatch in contains()");
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (o.iv_[d].lo < iv_[d].lo || o.iv_[d].hi > iv_[d].hi) return false;
+  }
+  return true;
+}
+
+Rect Rect::unite(const Rect& o) const {
+  ORV_REQUIRE(dims() == o.dims(), "rect dimension mismatch in unite()");
+  Rect out(dims());
+  for (std::size_t d = 0; d < dims(); ++d) out.iv_[d] = iv_[d].unite(o.iv_[d]);
+  return out;
+}
+
+Rect Rect::intersect(const Rect& o) const {
+  ORV_REQUIRE(dims() == o.dims(), "rect dimension mismatch in intersect()");
+  Rect out(dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    out.iv_[d] = iv_[d].intersect(o.iv_[d]);
+  }
+  return out;
+}
+
+bool Rect::is_empty() const {
+  for (const auto& i : iv_) {
+    if (i.is_empty()) return true;
+  }
+  return false;
+}
+
+double Rect::volume() const {
+  double v = 1.0;
+  for (const auto& i : iv_) v *= i.length();
+  return v;
+}
+
+void Rect::expand(std::size_t d, double v) {
+  ORV_REQUIRE(d < dims(), "rect dimension out of range in expand()");
+  if (v < iv_[d].lo) iv_[d].lo = v;
+  if (v > iv_[d].hi) iv_[d].hi = v;
+}
+
+void Rect::serialize(ByteWriter& w) const {
+  w.put_u32(static_cast<std::uint32_t>(iv_.size()));
+  for (const auto& i : iv_) {
+    w.put_f64(i.lo);
+    w.put_f64(i.hi);
+  }
+}
+
+Rect Rect::deserialize(ByteReader& r) {
+  const std::uint32_t n = r.get_u32();
+  r.check_count(n, 16);  // two f64 per interval
+  std::vector<Interval> iv(n);
+  for (auto& i : iv) {
+    i.lo = r.get_f64();
+    i.hi = r.get_f64();
+  }
+  return Rect(std::move(iv));
+}
+
+std::string Rect::to_string() const {
+  std::string lo = "(";
+  std::string hi = "(";
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (d) {
+      lo += ", ";
+      hi += ", ";
+    }
+    lo += strformat("%g", iv_[d].lo);
+    hi += strformat("%g", iv_[d].hi);
+  }
+  return "[" + lo + "), " + hi + ")]";
+}
+
+}  // namespace orv

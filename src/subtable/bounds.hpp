@@ -1,0 +1,85 @@
+#pragma once
+
+// Bounding boxes over sub-table attributes.
+//
+// Each chunk / sub-table carries lower and upper bounds for every attribute
+// it stores (coordinates and scalars alike), in schema order — e.g. the
+// paper's [(0, 0, 0.2, 0.3), (64, 64, 0.8, 0.5)]. Attributes absent from a
+// sub-table are treated as [-inf, +inf].
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace orv {
+
+/// Closed interval [lo, hi]. Default-constructed: unbounded.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool contains(double v) const { return v >= lo && v <= hi; }
+  bool overlaps(const Interval& o) const {
+    // Empty intervals (an empty sub-table's bounds) overlap nothing.
+    return !is_empty() && !o.is_empty() && lo <= o.hi && o.lo <= hi;
+  }
+  bool is_empty() const { return lo > hi; }
+  double length() const { return hi - lo; }
+
+  Interval unite(const Interval& o) const {
+    return Interval{lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+  }
+  Interval intersect(const Interval& o) const {
+    return Interval{lo > o.lo ? lo : o.lo, hi < o.hi ? hi : o.hi};
+  }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Axis-aligned box: one interval per dimension.
+class Rect {
+ public:
+  Rect() = default;
+  explicit Rect(std::size_t dims) : iv_(dims) {}
+  explicit Rect(std::vector<Interval> iv) : iv_(std::move(iv)) {}
+
+  static Rect unbounded(std::size_t dims) { return Rect(dims); }
+
+  std::size_t dims() const { return iv_.size(); }
+  Interval& operator[](std::size_t d) { return iv_[d]; }
+  const Interval& operator[](std::size_t d) const { return iv_[d]; }
+
+  /// True when the boxes overlap in every dimension. Dimensions must match.
+  bool overlaps(const Rect& o) const;
+
+  /// True when `o` lies fully inside this box (dimension-wise).
+  bool contains(const Rect& o) const;
+
+  /// Smallest box covering both (the paper's pair bounding box).
+  Rect unite(const Rect& o) const;
+
+  Rect intersect(const Rect& o) const;
+
+  bool is_empty() const;
+
+  /// Product of side lengths; inf dimensions yield inf.
+  double volume() const;
+
+  /// Grows this box to cover a point given per-dimension.
+  void expand(std::size_t d, double v);
+
+  void serialize(ByteWriter& w) const;
+  static Rect deserialize(ByteReader& r);
+
+  bool operator==(const Rect&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> iv_;
+};
+
+}  // namespace orv

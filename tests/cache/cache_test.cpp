@@ -1,0 +1,131 @@
+// Caching Service: LRU/FIFO eviction order, byte accounting with attached
+// hash tables, hit/miss statistics, capacity edge cases.
+
+#include "cache/caching_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+SchemaPtr small_schema() {
+  return Schema::make({{"k", AttrType::Int32}});
+}
+
+std::shared_ptr<const SubTable> table_of(std::size_t rows, ChunkId id) {
+  auto st = std::make_shared<SubTable>(small_schema(), SubTableId{1, id});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Value v[] = {Value(static_cast<std::int32_t>(i))};
+    st->append_values(v);
+  }
+  return st;
+}
+
+TEST(Cache, HitAndMissStats) {
+  CachingService cache(1024);
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  cache.put({1, 0}, table_of(4, 0));
+  EXPECT_NE(cache.get({1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // Each table: 25 rows * 4 bytes = 100 bytes; capacity for 2.
+  CachingService cache(200, CachePolicy::LRU);
+  cache.put({1, 0}, table_of(25, 0));
+  cache.put({1, 1}, table_of(25, 1));
+  EXPECT_NE(cache.get({1, 0}), nullptr);  // refresh 0: 1 is now LRU
+  cache.put({1, 2}, table_of(25, 2));     // evicts 1
+  EXPECT_TRUE(cache.contains({1, 0}));
+  EXPECT_FALSE(cache.contains({1, 1}));
+  EXPECT_TRUE(cache.contains({1, 2}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, FifoIgnoresRecency) {
+  CachingService cache(200, CachePolicy::FIFO);
+  cache.put({1, 0}, table_of(25, 0));
+  cache.put({1, 1}, table_of(25, 1));
+  EXPECT_NE(cache.get({1, 0}), nullptr);  // does not refresh under FIFO
+  cache.put({1, 2}, table_of(25, 2));     // evicts 0 (first in)
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_TRUE(cache.contains({1, 1}));
+}
+
+TEST(Cache, ByteAccounting) {
+  CachingService cache(1000);
+  cache.put({1, 0}, table_of(25, 0));  // 100 bytes
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  cache.put({1, 1}, table_of(50, 1));  // 200 bytes
+  EXPECT_EQ(cache.used_bytes(), 300u);
+  cache.clear();
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.num_entries(), 0u);
+}
+
+TEST(Cache, ReplaceInPlaceAdjustsBytes) {
+  CachingService cache(1000);
+  cache.put({1, 0}, table_of(25, 0));
+  cache.put({1, 0}, table_of(50, 0));  // replace with a bigger one
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(cache.used_bytes(), 200u);
+}
+
+TEST(Cache, OversizedEntryAdmittedAlone) {
+  CachingService cache(150);
+  cache.put({1, 0}, table_of(25, 0));   // 100 bytes
+  cache.put({1, 1}, table_of(100, 1));  // 400 bytes > capacity
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_TRUE(cache.contains({1, 1}));  // kept so the QES can proceed
+  EXPECT_GT(cache.used_bytes(), cache.capacity_bytes());
+  cache.put({1, 2}, table_of(1, 2));    // next insert evicts the giant
+  EXPECT_FALSE(cache.contains({1, 1}));
+}
+
+TEST(Cache, AttachHashTableCountsBytes) {
+  CachingService cache(100000);
+  auto left = table_of(100, 0);
+  cache.put({1, 0}, left);
+  const auto before = cache.used_bytes();
+  auto ht = std::make_shared<const BuiltHashTable>(
+      left, std::vector<std::string>{"k"});
+  cache.attach_hash_table({1, 0}, ht);
+  EXPECT_EQ(cache.used_bytes(), before + ht->table_bytes());
+  EXPECT_EQ(cache.get_hash_table({1, 0}), ht);
+}
+
+TEST(Cache, AttachToEvictedEntryIsNoop) {
+  CachingService cache(100);
+  auto left = table_of(100, 0);  // 400 bytes, oversized: alone in cache
+  cache.put({1, 0}, left);
+  cache.put({1, 1}, table_of(4, 1));  // evicts 0
+  auto ht = std::make_shared<const BuiltHashTable>(
+      left, std::vector<std::string>{"k"});
+  cache.attach_hash_table({1, 0}, ht);  // no crash, no entry
+  EXPECT_EQ(cache.get_hash_table({1, 0}), nullptr);
+}
+
+TEST(Cache, EvictionDropsHashTableWithEntry) {
+  CachingService cache(200);
+  auto left = table_of(25, 0);
+  cache.put({1, 0}, left);
+  cache.attach_hash_table({1, 0},
+                          std::make_shared<const BuiltHashTable>(
+                              left, std::vector<std::string>{"k"}));
+  cache.put({1, 1}, table_of(45, 1));  // 180 bytes; evicts entry 0
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_EQ(cache.get_hash_table({1, 0}), nullptr);
+}
+
+TEST(Cache, Validation) {
+  EXPECT_THROW(CachingService(0), InvalidArgument);
+  CachingService cache(100);
+  EXPECT_THROW(cache.put({1, 0}, nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace orv

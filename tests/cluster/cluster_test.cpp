@@ -1,0 +1,165 @@
+// Cluster model: disk read/write asymmetry, NFS sharing, stream-switch
+// seeks, network path accounting, hardware profiles, validation.
+
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace orv {
+namespace {
+
+ClusterSpec small_spec() {
+  ClusterSpec s;
+  s.num_storage = 2;
+  s.num_compute = 2;
+  return s;
+}
+
+TEST(Hardware, PaperProfileValues) {
+  const auto hw = HardwareProfile::paper_2006();
+  EXPECT_DOUBLE_EQ(hw.cpu_ops_per_sec, 933e6);
+  EXPECT_DOUBLE_EQ(hw.nic_bw, 12.5e6);
+  EXPECT_DOUBLE_EQ(hw.alpha_build(), 150.0 / 933e6);
+  EXPECT_DOUBLE_EQ(hw.alpha_lookup(), 120.0 / 933e6);
+  EXPECT_EQ(hw.memory_bytes, 512ull * 1024 * 1024);
+}
+
+TEST(Hardware, ModernProfileShiftsCpuIoRatio) {
+  const auto old_hw = HardwareProfile::paper_2006();
+  const auto new_hw = HardwareProfile::modern();
+  const double old_ratio = old_hw.disk_read_bw / old_hw.cpu_ops_per_sec;
+  const double new_ratio = new_hw.disk_read_bw / new_hw.cpu_ops_per_sec;
+  EXPECT_LT(new_ratio, old_ratio);  // IO_bw/F falls => IJ gains (Sec 6.2)
+}
+
+TEST(Disk, ReadWriteRatesDiffer) {
+  sim::Engine e;
+  Disk d(e, "d", 100.0, 50.0, 0.0);
+  std::vector<double> log;
+  auto proc = [](sim::Engine& eng, Disk& disk,
+                 std::vector<double>& l) -> sim::Task<> {
+    co_await disk.read(100.0);
+    l.push_back(eng.now());
+    co_await disk.write(100.0);
+    l.push_back(eng.now());
+  };
+  e.spawn(proc(e, d, log));
+  e.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 1.0);
+  EXPECT_DOUBLE_EQ(log[1], 3.0);  // +2 s at half bandwidth
+  EXPECT_DOUBLE_EQ(d.bytes_read(), 100.0);
+  EXPECT_DOUBLE_EQ(d.bytes_written(), 100.0);
+}
+
+TEST(Disk, StreamSwitchSeekChargedOnTransitions) {
+  sim::Engine e;
+  Disk d(e, "nfs", 100.0, 100.0, 0.0, /*stream_switch_seek=*/0.5);
+  auto proc = [](Disk& disk) -> sim::Task<> {
+    co_await disk.read(100.0, 0);   // read->... first write switches
+    co_await disk.read(100.0, 1);   // reads never switch among themselves
+    co_await disk.write(100.0, 0);  // switch (read->write)
+    co_await disk.write(100.0, 0);  // same writer: no switch
+    co_await disk.write(100.0, 1);  // switch (writer 0 -> 1)
+    co_await disk.read(100.0, 1);   // switch (write->read)
+  };
+  e.spawn(proc(d));
+  e.run();
+  EXPECT_EQ(d.stream_switches(), 3u);
+  EXPECT_DOUBLE_EQ(e.now(), 6.0 + 3 * 0.5);
+}
+
+TEST(Disk, NoSwitchSeekWhenDisabled) {
+  sim::Engine e;
+  Disk d(e, "d", 100.0, 100.0, 0.0, 0.0);
+  auto proc = [](Disk& disk) -> sim::Task<> {
+    co_await disk.write(100.0, 0);
+    co_await disk.read(100.0, 1);
+  };
+  e.spawn(proc(d));
+  e.run();
+  EXPECT_EQ(d.stream_switches(), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Cluster, DistinctResourcesPerNode) {
+  sim::Engine e;
+  Cluster c(e, small_spec());
+  EXPECT_NE(&c.storage_disk(0), &c.storage_disk(1));
+  EXPECT_NE(&c.compute_disk(0), &c.compute_disk(1));
+  EXPECT_NE(&c.compute_cpu(0), &c.compute_cpu(1));
+  EXPECT_NE(&c.storage_cpu(0), &c.compute_cpu(0));
+}
+
+TEST(Cluster, SharedFilesystemMapsEveryDiskToNfs) {
+  sim::Engine e;
+  ClusterSpec spec = small_spec();
+  spec.shared_filesystem = true;
+  Cluster c(e, spec);
+  EXPECT_EQ(&c.storage_disk(0), &c.storage_disk(1));
+  EXPECT_EQ(&c.storage_disk(0), &c.compute_disk(0));
+  EXPECT_EQ(&c.compute_disk(0), &c.compute_disk(1));
+  EXPECT_EQ(c.storage_disk(0).name(), "nfs");
+}
+
+TEST(Cluster, IndexValidation) {
+  sim::Engine e;
+  Cluster c(e, small_spec());
+  EXPECT_THROW(c.storage_disk(2), InvalidArgument);
+  EXPECT_THROW(c.compute_cpu(5), InvalidArgument);
+  EXPECT_THROW(c.storage_nic(2), InvalidArgument);
+}
+
+TEST(Cluster, SpecValidation) {
+  sim::Engine e;
+  ClusterSpec bad;
+  bad.num_storage = 0;
+  EXPECT_THROW(Cluster(e, bad), InvalidArgument);
+}
+
+TEST(Cluster, TransferAccountsBytesAndTime) {
+  sim::Engine e;
+  Cluster c(e, small_spec());
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.transfer_storage_to_compute(0, 1, 12.5e6);  // 1 s at NIC bw
+  };
+  e.spawn(proc(c));
+  e.run();
+  EXPECT_DOUBLE_EQ(c.network_bytes(), 12.5e6);
+  EXPECT_NEAR(e.now(), 1.0, 1e-9);
+}
+
+TEST(Cluster, SwitchLimitsAggregateBandwidth) {
+  sim::Engine e;
+  ClusterSpec spec = small_spec();
+  spec.hw.switch_bw = 12.5e6;  // as slow as one NIC
+  Cluster c(e, spec);
+  auto flow = [](Cluster& cl, std::size_t src, std::size_t dst) -> sim::Task<> {
+    for (int i = 0; i < 4; ++i) {
+      co_await cl.transfer_storage_to_compute(src, dst, 12.5e6 / 4);
+    }
+  };
+  e.spawn(flow(c, 0, 0));
+  e.spawn(flow(c, 1, 1));  // distinct NICs, shared switch
+  e.run();
+  // 2 x 12.5e6 bytes through a 12.5e6 B/s switch: ~2 s, not ~1 s.
+  EXPECT_NEAR(e.now(), 2.0, 0.3);
+}
+
+TEST(Cluster, EgressIngressSplitCoversSameBytes) {
+  sim::Engine e;
+  Cluster c(e, small_spec());
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.storage_egress(0, 1000.0);
+    co_await cl.compute_ingress(1, 1000.0);
+  };
+  e.spawn(proc(c));
+  e.run();
+  EXPECT_DOUBLE_EQ(c.network_bytes(), 1000.0);  // counted once, at egress
+}
+
+}  // namespace
+}  // namespace orv

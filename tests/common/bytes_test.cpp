@@ -1,0 +1,112 @@
+// ByteWriter/ByteReader round-trips, truncation errors, CRC-32 vectors.
+
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+TEST(Bytes, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0xbeef);
+  w.put_u32(0xdeadbeefu);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i32(-42);
+  w.put_i64(-1234567890123ll);
+  w.put_f32(3.5f);
+  w.put_f64(-2.25);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_EQ(r.get_i64(), -1234567890123ll);
+  EXPECT_FLOAT_EQ(r.get_f32(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -2.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  ByteWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  w.put_string(std::string(1000, 'x'));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string(1000, 'x'));
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304u);
+  auto b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned>(b[0]), 0x04u);
+  EXPECT_EQ(static_cast<unsigned>(b[3]), 0x01u);
+}
+
+TEST(Bytes, TruncationThrowsFormatError) {
+  ByteWriter w;
+  w.put_u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u16(), 7);
+  EXPECT_THROW(r.get_u32(), FormatError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), FormatError);
+}
+
+TEST(Bytes, GetBytesAdvances) {
+  ByteWriter w;
+  w.put_u32(0xaabbccddu);
+  w.put_u8(0x11);
+  ByteReader r(w.bytes());
+  auto view = r.get_bytes(4);
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(r.get_u8(), 0x11);
+}
+
+TEST(Bytes, CheckCountGuardsHugeAllocations) {
+  ByteWriter w;
+  w.put_u32(0xffffffffu);  // a corrupted element count
+  w.put_u64(0);
+  ByteReader r(w.bytes());
+  const std::uint32_t n = r.get_u32();
+  EXPECT_THROW(r.check_count(n, 16), FormatError);
+  EXPECT_NO_THROW(r.check_count(1, 8));           // 8 bytes remain
+  EXPECT_THROW(r.check_count(2, 8), FormatError);  // 16 would not fit
+  EXPECT_THROW(r.check_count(1, 0), InvalidArgument);
+}
+
+TEST(Crc32, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value).
+  const char* s = "123456789";
+  auto span = std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s), 9);
+  EXPECT_EQ(crc32(span), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  const auto before = crc32(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), before);
+}
+
+}  // namespace
+}  // namespace orv

@@ -1,0 +1,82 @@
+// PRNG determinism, range correctness, rough uniformity.
+
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+TEST(Prng, SameSeedSameSequence) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Prng, BelowOneAlwaysZero) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, BelowZeroRejected) {
+  Xoshiro256StarStar rng(7);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Prng, BelowRoughlyUniform) {
+  Xoshiro256StarStar rng(42);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.below(10)]++;
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Prng, Uniform01InRange) {
+  Xoshiro256StarStar rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Splitmix, KnownFirstOutputsDiffer) {
+  std::uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace orv

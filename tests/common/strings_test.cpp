@@ -1,0 +1,42 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orv {
+namespace {
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(3u * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n a \r"), "a");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("SELECT", "select"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+}  // namespace
+}  // namespace orv

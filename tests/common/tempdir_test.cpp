@@ -1,0 +1,36 @@
+#include "common/tempdir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace orv {
+namespace {
+
+TEST(TempDir, CreatesAndRemoves) {
+  std::filesystem::path where;
+  {
+    TempDir dir("orvtest");
+    where = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(where));
+    std::ofstream(dir.file("x.txt")) << "hi";
+    EXPECT_TRUE(std::filesystem::exists(where / "x.txt"));
+  }
+  EXPECT_FALSE(std::filesystem::exists(where));
+}
+
+TEST(TempDir, DistinctDirectories) {
+  TempDir a("orvtest"), b("orvtest");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, MoveTransfersOwnership) {
+  TempDir a("orvtest");
+  const auto p = a.path();
+  TempDir b = std::move(a);
+  EXPECT_EQ(b.path(), p);
+  EXPECT_TRUE(std::filesystem::exists(p));
+}
+
+}  // namespace
+}  // namespace orv

@@ -1,0 +1,75 @@
+// ThreadPool: coverage, reuse, exceptions, nested sequential calls.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(17, [&](std::size_t) { count++; });
+    ASSERT_EQ(count.load(), 17) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw IoError("boom");
+                                 }),
+               IoError);
+  // Pool still usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, MoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100000, [&](std::size_t i) {
+    sum += static_cast<long>(i % 7);
+  });
+  long expected = 0;
+  for (std::size_t i = 0; i < 100000; ++i) expected += i % 7;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace orv

@@ -1,0 +1,231 @@
+// Cost models (paper Section 5): formula correctness against hand
+// computation, monotonicity properties, crossover algebra, and the
+// Section 6.1 validation — simulated execution must track the analytic
+// models across the figure scenarios.
+
+#include "cost/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "datagen/generator.hpp"
+#include "graph/connectivity.hpp"
+#include "qes/qes.hpp"
+#include "sim/engine.hpp"
+
+namespace orv {
+namespace {
+
+CostParams hand_params() {
+  CostParams p;
+  p.T = 1e6;
+  p.c_R = 1e4;
+  p.c_S = 1e3;
+  p.n_e = 2e3;  // n_e * c_S = 2e6 = 2T
+  p.RS_R = 16;
+  p.RS_S = 16;
+  p.net_bw = 62.5e6;
+  p.read_io_bw = 35e6;
+  p.write_io_bw = 30e6;
+  p.n_s = 5;
+  p.n_j = 5;
+  p.alpha_build = 150.0 / 933e6;
+  p.alpha_lookup = 120.0 / 933e6;
+  return p;
+}
+
+TEST(CostModel, IjFormula) {
+  const CostParams p = hand_params();
+  const CostBreakdown c = ij_cost(p);
+  // Transfer: 1e6*32 / min(62.5e6, 35e6*5) = 3.2e7/6.25e7.
+  EXPECT_DOUBLE_EQ(c.transfer, 3.2e7 / 6.25e7);
+  EXPECT_DOUBLE_EQ(c.cpu_build, p.alpha_build * p.T / p.n_j);
+  EXPECT_DOUBLE_EQ(c.cpu_lookup, p.alpha_lookup * p.n_e * p.c_S / p.n_j);
+  EXPECT_DOUBLE_EQ(c.write, 0.0);
+  EXPECT_DOUBLE_EQ(c.read, 0.0);
+  EXPECT_DOUBLE_EQ(c.total(),
+                   c.transfer + c.cpu_build + c.cpu_lookup);
+}
+
+TEST(CostModel, GhFormula) {
+  const CostParams p = hand_params();
+  const CostBreakdown c = gh_cost(p);
+  EXPECT_DOUBLE_EQ(c.transfer, 3.2e7 / 6.25e7);
+  EXPECT_DOUBLE_EQ(c.write, 3.2e7 / (30e6 * 5));
+  EXPECT_DOUBLE_EQ(c.read, 3.2e7 / (35e6 * 5));
+  EXPECT_DOUBLE_EQ(c.cpu_build, p.alpha_build * p.T / p.n_j);
+  EXPECT_DOUBLE_EQ(c.cpu_lookup, p.alpha_lookup * p.T / p.n_j);
+}
+
+TEST(CostModel, TransferBottleneckSwitchesToDisks) {
+  CostParams p = hand_params();
+  p.n_s = 1;  // single storage disk now the bottleneck: 35e6 < 62.5e6
+  EXPECT_DOUBLE_EQ(ij_cost(p).transfer, 3.2e7 / 35e6);
+}
+
+TEST(CostModel, SharedFilesystemDropsNodeMultipliers) {
+  CostParams p = hand_params();
+  p.shared_filesystem = true;
+  const CostBreakdown gh = gh_cost(p);
+  EXPECT_DOUBLE_EQ(gh.transfer, 3.2e7 / 35e6);      // one server's reads
+  EXPECT_DOUBLE_EQ(gh.write, 3.2e7 / 30e6);          // no n_j multiplier
+  EXPECT_DOUBLE_EQ(gh.read, 3.2e7 / 35e6);
+}
+
+TEST(CostModel, IjLookupGrowsWithNeCs) {
+  CostParams p = hand_params();
+  const double t1 = ij_cost(p).total();
+  p.n_e *= 4;
+  const double t2 = ij_cost(p).total();
+  EXPECT_GT(t2, t1);
+  // GH is insensitive to n_e (paper's central claim).
+  CostParams q = hand_params();
+  const double g1 = gh_cost(q).total();
+  q.n_e *= 4;
+  EXPECT_DOUBLE_EQ(gh_cost(q).total(), g1);
+}
+
+TEST(CostModel, BothScaleLinearlyInT) {
+  CostParams p = hand_params();
+  const double ij1 = ij_cost(p).total();
+  const double gh1 = gh_cost(p).total();
+  p.T *= 2;
+  p.n_e *= 2;  // same partitioning => edges scale with T
+  EXPECT_NEAR(ij_cost(p).total(), 2 * ij1, 1e-12);
+  EXPECT_NEAR(gh_cost(p).total(), 2 * gh1, 1e-12);
+}
+
+TEST(CostModel, CrossoverAlgebra) {
+  CostParams p = hand_params();
+  // At the crossover value the totals agree (solve, substitute, compare).
+  const double x = crossover_ne_cs(p);
+  p.n_e = x / p.c_S;
+  EXPECT_NEAR(ij_cost(p).total(), gh_cost(p).total(),
+              1e-9 * gh_cost(p).total());
+  // Below: IJ preferred; above: GH preferred.
+  p.n_e = 0.5 * x / p.c_S;
+  EXPECT_TRUE(ij_preferred(p));
+  p.n_e = 2.0 * x / p.c_S;
+  EXPECT_FALSE(ij_preferred(p));
+}
+
+TEST(CostModel, IoPerFlopThreshold) {
+  CostParams p = hand_params();
+  // n_e / m_S = 2e3 / 1e3 = 2 -> threshold = 2*32/(gamma2 * 1).
+  EXPECT_DOUBLE_EQ(io_per_flop_threshold(p, 120.0), 2.0 * 32 / 120.0);
+  p.n_e = p.m_S();  // degree 1: threshold undefined, IJ always preferred
+  EXPECT_THROW(io_per_flop_threshold(p, 120.0), InvalidArgument);
+}
+
+TEST(CostModel, FasterCpuFavoursIj) {
+  // Section 6.2: raising F (cpu_factor > 1) shrinks IJ's disadvantage.
+  ClusterSpec cluster;
+  DatasetSpec data;
+  data.grid = {64, 64, 64};
+  data.part1 = {32, 4, 8};
+  data.part2 = {4, 32, 8};
+  const auto stats = analyze(data);
+  const auto slow = CostParams::from(cluster, stats, 16, 16, 0.25);
+  const auto fast = CostParams::from(cluster, stats, 16, 16, 4.0);
+  const double slow_gap = ij_cost(slow).total() - gh_cost(slow).total();
+  const double fast_gap = ij_cost(fast).total() - gh_cost(fast).total();
+  EXPECT_GT(slow_gap, fast_gap);
+  EXPECT_GT(crossover_ne_cs(fast), crossover_ne_cs(slow));
+}
+
+TEST(CostModel, ParamsFromClusterAndStats) {
+  ClusterSpec cluster;
+  cluster.num_storage = 3;
+  cluster.num_compute = 7;
+  DatasetSpec data;
+  data.grid = {16, 16, 16};
+  data.part1 = {8, 8, 8};
+  data.part2 = {4, 4, 4};
+  const auto p = CostParams::from(cluster, analyze(data), 16, 20);
+  EXPECT_DOUBLE_EQ(p.T, 4096);
+  EXPECT_DOUBLE_EQ(p.c_R, 512);
+  EXPECT_DOUBLE_EQ(p.c_S, 64);
+  EXPECT_DOUBLE_EQ(p.n_e, 64);
+  EXPECT_DOUBLE_EQ(p.RS_R, 16);
+  EXPECT_DOUBLE_EQ(p.RS_S, 20);
+  EXPECT_DOUBLE_EQ(p.n_s, 3);
+  EXPECT_DOUBLE_EQ(p.n_j, 7);
+  // net = min(3 nics, 7 nics, switch) = 3 * 12.5 MB/s.
+  EXPECT_DOUBLE_EQ(p.net_bw, 3 * 12.5e6);
+  EXPECT_DOUBLE_EQ(p.m_S(), 64);
+}
+
+// ------------------------------------------------------------------
+// Section 6.1: "the models fit actual execution times closely". We assert
+// the simulation lands within a tolerance band of the model and that the
+// relative ordering (who wins) agrees, across the figure scenarios.
+// ------------------------------------------------------------------
+
+struct ValidationCase {
+  Dim3 p, q;
+  std::size_t n_s, n_j;
+  double work_factor;
+};
+
+class ModelValidation : public ::testing::TestWithParam<ValidationCase> {};
+
+TEST_P(ModelValidation, SimWithinToleranceOfModel) {
+  const auto& c = GetParam();
+  DatasetSpec spec;
+  spec.grid = {32, 32, 32};
+  spec.part1 = c.p;
+  spec.part2 = c.q;
+  spec.num_storage_nodes = c.n_s;
+  auto ds = generate_dataset(spec);
+  ClusterSpec cspec;
+  cspec.num_storage = c.n_s;
+  cspec.num_compute = c.n_j;
+
+  const auto params =
+      CostParams::from(cspec, ds.stats, 16, 16, 1.0 / c.work_factor);
+  const double model_ij = ij_cost(params).total();
+  const double model_gh = gh_cost(params).total();
+
+  JoinQuery query{spec.table1_id, spec.table2_id, {"x", "y", "z"}, {}};
+  const auto graph =
+      ConnectivityGraph::build(ds.meta, 1, 2, query.join_attrs);
+  QesOptions options;
+  options.cpu_work_factor = c.work_factor;
+
+  double sim_ij = 0;
+  double sim_gh = 0;
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    sim_ij = run_indexed_join(cluster, bds, ds.meta, graph, query, options)
+                 .elapsed;
+  }
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    sim_gh = run_grace_hash(cluster, bds, ds.meta, query, options).elapsed;
+  }
+
+  // Simulation may exceed the model (latency, imbalance, phase tails) but
+  // must stay within +40% and never undershoot by more than 5%.
+  EXPECT_GT(sim_ij, 0.95 * model_ij);
+  EXPECT_LT(sim_ij, 1.40 * model_ij);
+  EXPECT_GT(sim_gh, 0.95 * model_gh);
+  EXPECT_LT(sim_gh, 1.40 * model_gh);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ModelValidation,
+    ::testing::Values(
+        ValidationCase{{8, 8, 8}, {8, 8, 8}, 5, 5, 1.0},
+        ValidationCase{{16, 4, 8}, {4, 16, 8}, 5, 5, 1.0},
+        ValidationCase{{16, 2, 8}, {2, 16, 8}, 5, 5, 1.0},
+        ValidationCase{{8, 8, 8}, {8, 8, 8}, 5, 2, 1.0},
+        ValidationCase{{8, 8, 8}, {8, 8, 8}, 3, 5, 1.0},
+        ValidationCase{{16, 4, 8}, {4, 16, 8}, 5, 5, 4.0},
+        ValidationCase{{8, 8, 8}, {4, 4, 4}, 4, 4, 1.0}));
+
+}  // namespace
+}  // namespace orv

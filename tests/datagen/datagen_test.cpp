@@ -1,0 +1,253 @@
+// Dataset generator: closed-form formulas (paper Section 6) vs the actual
+// connectivity graph, determinism, chunk round-trips, block-cyclic
+// placement, bounds correctness.
+
+#include "datagen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/tempdir.hpp"
+#include "extract/extractor.hpp"
+#include "graph/connectivity.hpp"
+
+namespace orv {
+namespace {
+
+DatasetSpec small_spec() {
+  DatasetSpec spec;
+  spec.grid = {16, 16, 16};
+  spec.part1 = {8, 8, 8};
+  spec.part2 = {4, 4, 4};
+  spec.num_storage_nodes = 3;
+  return spec;
+}
+
+TEST(DatasetSpec, ValidationRejectsNonDividingPartitions) {
+  DatasetSpec spec;
+  spec.grid = {16, 16, 16};
+  spec.part1 = {5, 8, 8};  // 5 does not divide 16
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(DatasetSpec, ValidationRejectsNonNestedPartitions) {
+  DatasetSpec spec;
+  spec.grid = {24, 24, 24};
+  spec.part1 = {8, 8, 8};
+  spec.part2 = {12, 12, 12};  // 8 does not divide 12
+  EXPECT_THROW(spec.validate(), InvalidArgument);
+}
+
+TEST(Analyze, PaperFormulas) {
+  // g=16^3, p=8^3, q=4^3: C=8^3, N_C=(16/8)^3=8, E_C=(8/4)^3=8, n_e=64.
+  const auto s = analyze(small_spec());
+  EXPECT_EQ(s.component, (Dim3{8, 8, 8}));
+  EXPECT_EQ(s.num_components, 8u);
+  EXPECT_EQ(s.edges_per_component, 8u);
+  EXPECT_EQ(s.num_edges, 64u);
+  EXPECT_EQ(s.T, 4096u);
+  EXPECT_EQ(s.c_R, 512u);
+  EXPECT_EQ(s.c_S, 64u);
+  EXPECT_EQ(s.a, 1u);
+  EXPECT_EQ(s.b, 8u);
+  EXPECT_DOUBLE_EQ(s.edge_ratio, 64.0 * 512 * 64 / (4096.0 * 4096.0));
+}
+
+TEST(Analyze, AsymmetricPartitions) {
+  DatasetSpec spec;
+  spec.grid = {32, 16, 8};
+  spec.part1 = {8, 4, 8};
+  spec.part2 = {16, 16, 2};
+  const auto s = analyze(spec);
+  EXPECT_EQ(s.component, (Dim3{16, 16, 8}));
+  EXPECT_EQ(s.num_components, (32u * 16 * 8) / (16 * 16 * 8));
+  EXPECT_EQ(s.edges_per_component, 2u * 4 * 4);
+  EXPECT_EQ(s.num_edges, s.num_components * s.edges_per_component);
+}
+
+TEST(Generator, ChunkCountsAndPlacement) {
+  const auto spec = small_spec();
+  auto ds = generate_dataset(spec);
+  EXPECT_EQ(ds.meta.num_chunks(spec.table1_id), 8u);     // (16/8)^3
+  EXPECT_EQ(ds.meta.num_chunks(spec.table2_id), 64u);    // (16/4)^3
+  EXPECT_EQ(ds.meta.table_rows(spec.table1_id), 4096u);
+  EXPECT_EQ(ds.meta.table_rows(spec.table2_id), 4096u);
+
+  // Block-cyclic: chunk j lives on node j % n_s.
+  for (const auto& cm : ds.meta.chunks(spec.table2_id)) {
+    EXPECT_EQ(cm.location.storage_node,
+              cm.id.chunk % spec.num_storage_nodes);
+  }
+}
+
+TEST(Generator, ChunksRoundTripThroughExtractors) {
+  auto spec = small_spec();
+  spec.layout1 = LayoutId::ColMajor;
+  spec.layout2 = LayoutId::BlockedRows;
+  auto ds = generate_dataset(spec);
+
+  for (TableId t : {spec.table1_id, spec.table2_id}) {
+    for (const auto& cm : ds.meta.chunks(t)) {
+      const auto bytes = ds.store_for(cm.location).read(cm.location);
+      const SubTable st = extract_chunk(bytes);
+      EXPECT_EQ(st.id(), cm.id);
+      EXPECT_EQ(st.num_rows(), cm.num_rows);
+      EXPECT_EQ(st.schema(), *cm.schema);
+      // Every row must lie within the advertised bounds.
+      for (std::size_t r = 0; r < st.num_rows(); ++r) {
+        for (std::size_t d = 0; d < 3; ++d) {
+          EXPECT_TRUE(cm.bounds[d].contains(st.as_double(r, d)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Generator, PayloadValuesDeterministicAndReproducible) {
+  const auto spec = small_spec();
+  auto a = generate_dataset(spec);
+  auto b = generate_dataset(spec);
+  for (const auto& cm : a.meta.chunks(spec.table1_id)) {
+    const auto ba = a.store_for(cm.location).read(cm.location);
+    const auto bb = b.store_for(cm.location).read(cm.location);
+    ASSERT_EQ(ba.size(), bb.size());
+    EXPECT_TRUE(std::equal(ba.begin(), ba.end(), bb.begin()));
+  }
+  // Different seed changes payloads.
+  auto spec2 = spec;
+  spec2.seed = 43;
+  auto c = generate_dataset(spec2);
+  bool any_diff = false;
+  for (const auto& cm : a.meta.chunks(spec.table1_id)) {
+    const auto ba = a.store_for(cm.location).read(cm.location);
+    const auto bc = c.store_for(cm.location).read(cm.location);
+    if (!std::equal(ba.begin(), ba.end(), bc.begin())) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, PayloadValueHelperMatchesStoredData) {
+  const auto spec = small_spec();
+  auto ds = generate_dataset(spec);
+  const auto& cm = ds.meta.chunks(spec.table1_id)[0];
+  const auto bytes = ds.store_for(cm.location).read(cm.location);
+  const SubTable st = extract_chunk(bytes);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const auto x = static_cast<std::uint64_t>(st.get<float>(r, 0));
+    const auto y = static_cast<std::uint64_t>(st.get<float>(r, 1));
+    const auto z = static_cast<std::uint64_t>(st.get<float>(r, 2));
+    EXPECT_FLOAT_EQ(st.get<float>(r, 3),
+                    payload_value(spec.table1_id, spec.seed, x, y, z, 0));
+  }
+}
+
+TEST(Generator, FileBackedStoresMatchMemoryStores) {
+  const auto spec = small_spec();
+  auto mem = generate_dataset(spec);
+  TempDir dir("orvgen");
+  auto file = generate_dataset(spec, dir.path());
+  for (TableId t : {spec.table1_id, spec.table2_id}) {
+    for (std::size_t i = 0; i < mem.meta.chunks(t).size(); ++i) {
+      const auto& mc = mem.meta.chunks(t)[i];
+      const auto& fc = file.meta.chunks(t)[i];
+      const auto mb = mem.store_for(mc.location).read(mc.location);
+      const auto fb = file.store_for(fc.location).read(fc.location);
+      ASSERT_EQ(mb.size(), fb.size());
+      EXPECT_TRUE(std::equal(mb.begin(), mb.end(), fb.begin()));
+    }
+  }
+}
+
+TEST(Generator, BlockedPlacementContiguous) {
+  auto spec = small_spec();
+  spec.placement = Placement::Blocked;
+  auto ds = generate_dataset(spec);
+  // 64 T2 chunks over 3 nodes: ceil(64/3)=22 per node; node is monotone.
+  std::uint32_t prev = 0;
+  for (const auto& cm : ds.meta.chunks(spec.table2_id)) {
+    EXPECT_GE(cm.location.storage_node, prev);
+    EXPECT_EQ(cm.location.storage_node, cm.id.chunk / 22);
+    prev = cm.location.storage_node;
+  }
+}
+
+TEST(Generator, RandomPlacementDeterministicAndCovered) {
+  auto spec = small_spec();
+  spec.placement = Placement::Random;
+  auto a = generate_dataset(spec);
+  auto b = generate_dataset(spec);
+  std::vector<std::size_t> counts(spec.num_storage_nodes, 0);
+  for (std::size_t i = 0; i < a.meta.chunks(spec.table2_id).size(); ++i) {
+    const auto& ca = a.meta.chunks(spec.table2_id)[i];
+    const auto& cb = b.meta.chunks(spec.table2_id)[i];
+    EXPECT_EQ(ca.location.storage_node, cb.location.storage_node);
+    counts[ca.location.storage_node]++;
+  }
+  for (const auto c : counts) EXPECT_GT(c, 0u);  // every node used
+}
+
+TEST(Generator, PlacementPreservesLogicalContent) {
+  // The same logical table regardless of placement: row multisets match.
+  auto cyclic_spec = small_spec();
+  auto random_spec = small_spec();
+  random_spec.placement = Placement::Random;
+  auto cyclic = generate_dataset(cyclic_spec);
+  auto random = generate_dataset(random_spec);
+  auto fingerprint = [](GeneratedDataset& ds, TableId t) {
+    std::uint64_t acc = 0;
+    for (const auto& cm : ds.meta.chunks(t)) {
+      const auto bytes = ds.store_for(cm.location).read(cm.location);
+      acc += extract_chunk(bytes).unordered_fingerprint();
+    }
+    return acc;
+  };
+  EXPECT_EQ(fingerprint(cyclic, 1), fingerprint(random, 1));
+  EXPECT_EQ(fingerprint(cyclic, 2), fingerprint(random, 2));
+}
+
+// ------------------------------------------------------------------
+// Property sweep: closed-form N_C / E_C / n_e vs the actual connectivity
+// graph built from generated chunk metadata (the paper's Section 6
+// formulas must describe the real page-level join index).
+// ------------------------------------------------------------------
+
+struct GraphFormulaCase {
+  Dim3 grid, p, q;
+};
+
+class GraphFormulaTest : public ::testing::TestWithParam<GraphFormulaCase> {};
+
+TEST_P(GraphFormulaTest, FormulaMatchesActualGraph) {
+  const auto& c = GetParam();
+  DatasetSpec spec;
+  spec.grid = c.grid;
+  spec.part1 = c.p;
+  spec.part2 = c.q;
+  spec.num_storage_nodes = 2;
+  const auto stats = analyze(spec);
+  auto ds = generate_dataset(spec);
+  const auto graph = ConnectivityGraph::build(
+      ds.meta, spec.table1_id, spec.table2_id, {"x", "y", "z"});
+  EXPECT_EQ(graph.num_edges(), stats.num_edges) << spec.to_string();
+  EXPECT_EQ(graph.num_components(), stats.num_components) << spec.to_string();
+  for (const auto& comp : graph.components()) {
+    EXPECT_EQ(comp.a(), stats.a) << spec.to_string();
+    EXPECT_EQ(comp.b(), stats.b) << spec.to_string();
+    EXPECT_EQ(comp.pairs.size(), stats.edges_per_component) << spec.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, GraphFormulaTest,
+    ::testing::Values(
+        GraphFormulaCase{{16, 16, 16}, {8, 8, 8}, {4, 4, 4}},
+        GraphFormulaCase{{16, 16, 16}, {4, 4, 4}, {8, 8, 8}},
+        GraphFormulaCase{{16, 16, 16}, {8, 8, 8}, {8, 8, 8}},
+        GraphFormulaCase{{16, 16, 16}, {16, 16, 16}, {2, 2, 2}},
+        GraphFormulaCase{{32, 16, 8}, {8, 4, 8}, {16, 16, 2}},
+        GraphFormulaCase{{8, 8, 8}, {2, 8, 4}, {8, 2, 4}},
+        GraphFormulaCase{{16, 8, 4}, {4, 2, 4}, {2, 8, 1}},
+        GraphFormulaCase{{16, 16, 1}, {4, 4, 1}, {8, 2, 1}}));
+
+}  // namespace
+}  // namespace orv

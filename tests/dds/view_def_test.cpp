@@ -1,0 +1,151 @@
+// View definitions: factories, output schemas, join-view shape matching.
+
+#include "dds/view_def.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "datagen/generator.hpp"
+
+namespace orv {
+namespace {
+
+struct Catalog {
+  GeneratedDataset ds;
+  Catalog() {
+    DatasetSpec spec;
+    spec.grid = {8, 8, 8};
+    spec.part1 = {4, 4, 4};
+    spec.part2 = {4, 4, 4};
+    spec.num_storage_nodes = 2;
+    ds = generate_dataset(spec);
+  }
+  const MetaDataService& meta() const { return ds.meta; }
+};
+
+TEST(ViewDef, BaseSchemaIsTableSchema) {
+  Catalog c;
+  const auto v = ViewDef::base(1);
+  EXPECT_EQ(*v->output_schema(c.meta()), *c.meta().table_schema(1));
+}
+
+TEST(ViewDef, SelectKeepsSchema) {
+  Catalog c;
+  const auto v = ViewDef::select(ViewDef::base(1), {{"x", {0, 3}}});
+  EXPECT_EQ(*v->output_schema(c.meta()), *c.meta().table_schema(1));
+}
+
+TEST(ViewDef, ProjectSchema) {
+  Catalog c;
+  const auto v = ViewDef::project(ViewDef::base(1), {"oilp", "x"});
+  const auto s = v->output_schema(c.meta());
+  ASSERT_EQ(s->num_attrs(), 2u);
+  EXPECT_EQ(s->attr(0).name, "oilp");
+  EXPECT_EQ(s->attr(1).name, "x");
+}
+
+TEST(ViewDef, ProjectUnknownColumnThrowsAtSchema) {
+  Catalog c;
+  const auto v = ViewDef::project(ViewDef::base(1), {"nope"});
+  EXPECT_THROW(v->output_schema(c.meta()), NotFound);
+}
+
+TEST(ViewDef, JoinSchemaDropsRightKeys) {
+  Catalog c;
+  const auto v = ViewDef::join(ViewDef::base(1), ViewDef::base(2),
+                               {"x", "y", "z"});
+  const auto s = v->output_schema(c.meta());
+  ASSERT_EQ(s->num_attrs(), 5u);  // x y z oilp wp
+  EXPECT_EQ(s->attr(4).name, "wp");
+}
+
+TEST(ViewDef, AggregateSchema) {
+  Catalog c;
+  const auto join =
+      ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x", "y", "z"});
+  const auto v = ViewDef::aggregate(
+      join, {"x"},
+      {AggSpec{AggSpec::Fn::Avg, "wp", "avg_wp"},
+       AggSpec{AggSpec::Fn::Count, "", "n"}});
+  const auto s = v->output_schema(c.meta());
+  ASSERT_EQ(s->num_attrs(), 3u);
+  EXPECT_EQ(s->attr(0).name, "x");
+  EXPECT_EQ(s->attr(0).type, AttrType::Float32);  // group key keeps type
+  EXPECT_EQ(s->attr(1).name, "avg_wp");
+  EXPECT_EQ(s->attr(1).type, AttrType::Float64);
+}
+
+TEST(ViewDef, FactoriesValidate) {
+  EXPECT_THROW(ViewDef::select(nullptr, {}), InvalidArgument);
+  EXPECT_THROW(ViewDef::project(ViewDef::base(1), {}), InvalidArgument);
+  EXPECT_THROW(ViewDef::join(ViewDef::base(1), nullptr, {"x"}),
+               InvalidArgument);
+  EXPECT_THROW(ViewDef::join(ViewDef::base(1), ViewDef::base(2), {}),
+               InvalidArgument);
+  EXPECT_THROW(ViewDef::aggregate(ViewDef::base(1), {}, {}),
+               InvalidArgument);
+}
+
+TEST(MatchJoinView, PlainJoin) {
+  JoinViewShape shape;
+  const auto v = ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x"});
+  ASSERT_TRUE(match_join_view(*v, &shape));
+  EXPECT_EQ(shape.left_table, 1u);
+  EXPECT_EQ(shape.right_table, 2u);
+  EXPECT_EQ(shape.join_attrs, std::vector<std::string>{"x"});
+  EXPECT_TRUE(shape.ranges.empty());
+  EXPECT_TRUE(shape.projection.empty());
+}
+
+TEST(MatchJoinView, SelectionsMergeFromAllLayers) {
+  JoinViewShape shape;
+  const auto v = ViewDef::select(
+      ViewDef::join(ViewDef::select(ViewDef::base(1), {{"x", {0, 8}}}),
+                    ViewDef::select(ViewDef::base(2), {{"y", {0, 4}}}),
+                    {"x", "y"}),
+      {{"z", {0, 2}}});
+  ASSERT_TRUE(match_join_view(*v, &shape));
+  EXPECT_EQ(shape.ranges.size(), 3u);
+}
+
+TEST(MatchJoinView, ProjectionOnTop) {
+  JoinViewShape shape;
+  const auto v = ViewDef::project(
+      ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x"}),
+      {"x", "wp"});
+  ASSERT_TRUE(match_join_view(*v, &shape));
+  EXPECT_EQ(shape.projection, (std::vector<std::string>{"x", "wp"}));
+}
+
+TEST(MatchJoinView, RejectsOtherShapes) {
+  EXPECT_FALSE(match_join_view(*ViewDef::base(1), nullptr));
+  EXPECT_FALSE(match_join_view(
+      *ViewDef::select(ViewDef::base(1), {{"x", {0, 1}}}), nullptr));
+  // Join of joins: not the canonical DDS shape.
+  const auto jj = ViewDef::join(
+      ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x"}),
+      ViewDef::base(1), {"x"});
+  EXPECT_FALSE(match_join_view(*jj, nullptr));
+  // Aggregate is not a plain join view.
+  const auto agg = ViewDef::aggregate(
+      ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x"}), {},
+      {AggSpec{AggSpec::Fn::Count, "", "n"}});
+  EXPECT_FALSE(match_join_view(*agg, nullptr));
+}
+
+TEST(ViewDef, ToStringReadable) {
+  Catalog c;
+  const auto v = ViewDef::project(
+      ViewDef::select(
+          ViewDef::join(ViewDef::base(1), ViewDef::base(2), {"x", "y"}),
+          {{"x", {0, 8}}}),
+      {"wp"});
+  const std::string s = v->to_string(c.meta());
+  EXPECT_NE(s.find("join[x,y]"), std::string::npos);
+  EXPECT_NE(s.find("T1"), std::string::npos);
+  EXPECT_NE(s.find("T2"), std::string::npos);
+  EXPECT_NE(s.find("pi[wp]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orv

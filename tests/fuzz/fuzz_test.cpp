@@ -1,0 +1,197 @@
+// Randomized robustness sweeps ("fuzz-lite"):
+//  - random valid dataset specs: closed-form formulas must equal the real
+//    connectivity graph, and both QES must match the reference join;
+//  - random query strings: the parser either parses or throws
+//    InvalidArgument with a position — never crashes or misparses;
+//  - random chunk-byte corruption: always FormatError, never UB.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "datagen/generator.hpp"
+#include "extract/extractor.hpp"
+#include "graph/connectivity.hpp"
+#include "qes/qes.hpp"
+#include "query/parser.hpp"
+#include "sim/engine.hpp"
+
+namespace orv {
+namespace {
+
+/// Random divisor pair (p, q) of g such that min(p,q) divides max(p,q).
+std::pair<std::uint64_t, std::uint64_t> random_nested_divisors(
+    Xoshiro256StarStar& rng, std::uint64_t g) {
+  std::vector<std::uint64_t> divisors;
+  for (std::uint64_t d = 1; d <= g; ++d) {
+    if (g % d == 0) divisors.push_back(d);
+  }
+  while (true) {
+    const std::uint64_t p = divisors[rng.below(divisors.size())];
+    const std::uint64_t q = divisors[rng.below(divisors.size())];
+    const std::uint64_t lo = std::min(p, q);
+    const std::uint64_t hi = std::max(p, q);
+    if (hi % lo == 0) return {p, q};
+  }
+}
+
+TEST(FuzzDatagen, RandomSpecsFormulaMatchesGraph) {
+  Xoshiro256StarStar rng(20260705);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t gs[3] = {4ull << rng.below(3), 4ull << rng.below(3),
+                                 4ull << rng.below(3)};
+    DatasetSpec spec;
+    spec.grid = {gs[0], gs[1], gs[2]};
+    auto [px, qx] = random_nested_divisors(rng, gs[0]);
+    auto [py, qy] = random_nested_divisors(rng, gs[1]);
+    auto [pz, qz] = random_nested_divisors(rng, gs[2]);
+    spec.part1 = {px, py, pz};
+    spec.part2 = {qx, qy, qz};
+    spec.num_storage_nodes = 1 + rng.below(4);
+    spec.placement = static_cast<Placement>(rng.below(3));
+    spec.seed = rng();
+
+    const auto stats = analyze(spec);
+    auto ds = generate_dataset(spec);
+    const auto graph = ConnectivityGraph::build(ds.meta, 1, 2,
+                                                {"x", "y", "z"});
+    ASSERT_EQ(graph.num_edges(), stats.num_edges) << spec.to_string();
+    ASSERT_EQ(graph.num_components(), stats.num_components)
+        << spec.to_string();
+  }
+}
+
+TEST(FuzzQes, RandomSpecsBothAlgorithmsMatchReference) {
+  Xoshiro256StarStar rng(77001);
+  for (int trial = 0; trial < 8; ++trial) {
+    DatasetSpec spec;
+    spec.grid = {8, 8, 8};
+    auto [px, qx] = random_nested_divisors(rng, 8);
+    auto [py, qy] = random_nested_divisors(rng, 8);
+    auto [pz, qz] = random_nested_divisors(rng, 8);
+    spec.part1 = {px, py, pz};
+    spec.part2 = {qx, qy, qz};
+    spec.num_storage_nodes = 1 + rng.below(3);
+    spec.layout1 = static_cast<LayoutId>(rng.below(3));
+    spec.layout2 = static_cast<LayoutId>(rng.below(3));
+    spec.seed = rng();
+    auto ds = generate_dataset(spec);
+
+    ClusterSpec cspec;
+    cspec.num_storage = spec.num_storage_nodes;
+    cspec.num_compute = 1 + rng.below(4);
+
+    JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+    if (rng.below(2)) {
+      const double lo = static_cast<double>(rng.below(4));
+      query.ranges.push_back({"x", {lo, lo + 3}});
+    }
+    const auto graph = ConnectivityGraph::build(ds.meta, 1, 2,
+                                                query.join_attrs,
+                                                query.ranges);
+    const auto ref = reference_join(ds.meta, ds.stores, query);
+
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    const auto ij = run_indexed_join(cluster, bds, ds.meta, graph, query);
+    const auto gh = run_grace_hash(cluster, bds, ds.meta, query);
+    ASSERT_EQ(ij.result_tuples, ref.result_tuples) << spec.to_string();
+    ASSERT_EQ(ij.result_fingerprint, ref.result_fingerprint)
+        << spec.to_string();
+    ASSERT_EQ(gh.result_fingerprint, ref.result_fingerprint)
+        << spec.to_string();
+  }
+}
+
+TEST(FuzzParser, RandomTokenSoupNeverCrashes) {
+  Xoshiro256StarStar rng(31337);
+  const char* tokens[] = {"SELECT", "FROM",  "WHERE", "AND",   "GROUP",
+                          "BY",     "HAVING", "IN",    "BETWEEN", "AVG",
+                          "COUNT",  "*",     ",",     "(",     ")",
+                          "[",      "]",     "<",     ">=",    "=",
+                          "x",      "wp",    "T1",    "V1",    "1.5",
+                          "-3",     "1e9",   ";",     "AS",    "n"};
+  int parsed = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string q;
+    const std::size_t len = 1 + rng.below(14);
+    for (std::size_t i = 0; i < len; ++i) {
+      q += tokens[rng.below(std::size(tokens))];
+      q += " ";
+    }
+    try {
+      parse_query(q);
+      ++parsed;
+    } catch (const InvalidArgument&) {
+      // expected for almost all soups
+    }
+  }
+  // A few random soups happen to be valid ("SELECT * FROM T1 ;" etc.).
+  EXPECT_GE(parsed, 0);
+}
+
+TEST(FuzzParser, ValidQueriesWithRandomNumbersRoundTrip) {
+  Xoshiro256StarStar rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double lo = rng.uniform(-1e6, 1e6);
+    const double hi = lo + rng.uniform(0, 1e6);
+    const std::string q = "SELECT * FROM t WHERE a IN [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]";
+    const auto parsed = parse_query(q);
+    ASSERT_EQ(parsed.where.size(), 1u);
+    EXPECT_NEAR(parsed.where[0].range.lo, lo, 1e-6 * std::abs(lo) + 1e-9);
+    EXPECT_NEAR(parsed.where[0].range.hi, hi, 1e-6 * std::abs(hi) + 1e-9);
+  }
+}
+
+TEST(FuzzChunk, RandomCorruptionAlwaysFormatError) {
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"v", AttrType::Int32}});
+  SubTable st(schema, SubTableId{1, 0});
+  for (int i = 0; i < 100; ++i) {
+    const Value vals[] = {Value(float(i)), Value(i)};
+    st.append_values(vals);
+  }
+  st.compute_bounds();
+  const auto clean = make_chunk(st, LayoutId::ColMajor);
+
+  Xoshiro256StarStar rng(4242);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = clean;
+    // Flip 1-4 random bytes.
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.below(bytes.size())] ^=
+          std::byte{static_cast<unsigned char>(1 + rng.below(255))};
+    }
+    try {
+      const SubTable back = extract_chunk(bytes);
+      // Astronomically unlikely both CRCs survive a real flip; if we get
+      // here the flips must have cancelled out to the original bytes.
+      EXPECT_TRUE(std::equal(clean.begin(), clean.end(), bytes.begin()));
+    } catch (const FormatError&) {
+      // expected
+    }
+  }
+}
+
+TEST(FuzzChunk, RandomTruncationAlwaysFormatError) {
+  auto schema = Schema::make({{"x", AttrType::Float32}});
+  SubTable st(schema, SubTableId{1, 0});
+  const Value v[] = {Value(1.0f)};
+  for (int i = 0; i < 64; ++i) st.append_values(v);
+  st.compute_bounds();
+  const auto clean = make_chunk(st, LayoutId::RowMajor);
+
+  Xoshiro256StarStar rng(515);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t keep = rng.below(clean.size());  // < full size
+    std::span<const std::byte> cut(clean.data(), keep);
+    EXPECT_THROW(extract_chunk(cut), FormatError) << "keep=" << keep;
+  }
+}
+
+}  // namespace
+}  // namespace orv

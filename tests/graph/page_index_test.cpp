@@ -1,0 +1,80 @@
+// Page-level join index service: caching, range pruning equivalence,
+// persistence.
+
+#include "graph/page_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+
+namespace orv {
+namespace {
+
+GeneratedDataset make_ds() {
+  DatasetSpec spec;
+  spec.grid = {16, 16, 16};
+  spec.part1 = {4, 4, 4};
+  spec.part2 = {4, 4, 4};
+  spec.num_storage_nodes = 2;
+  return generate_dataset(spec);
+}
+
+TEST(PageIndex, BuildsOncePerKey) {
+  auto ds = make_ds();
+  PageIndexService svc(ds.meta);
+  const auto& g1 = svc.full_graph(1, 2, {"x", "y", "z"});
+  const auto& g2 = svc.full_graph(1, 2, {"x", "y", "z"});
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_EQ(svc.builds(), 1u);
+  EXPECT_EQ(svc.hits(), 1u);
+  svc.full_graph(1, 2, {"x", "y"});  // different key
+  EXPECT_EQ(svc.builds(), 2u);
+  EXPECT_EQ(svc.num_cached(), 2u);
+}
+
+TEST(PageIndex, PrecomputeReportsBuild) {
+  auto ds = make_ds();
+  PageIndexService svc(ds.meta);
+  EXPECT_TRUE(svc.precompute(1, 2, {"x", "y", "z"}));
+  EXPECT_FALSE(svc.precompute(1, 2, {"x", "y", "z"}));
+}
+
+TEST(PageIndex, PrunedGraphEqualsDirectBuild) {
+  auto ds = make_ds();
+  PageIndexService svc(ds.meta);
+  const std::vector<AttrRange> ranges = {{"x", {0, 7}}, {"y", {4, 11}}};
+  const auto pruned = svc.pruned_graph(1, 2, {"x", "y", "z"}, ranges);
+  const auto direct =
+      ConnectivityGraph::build(ds.meta, 1, 2, {"x", "y", "z"}, ranges);
+  EXPECT_EQ(pruned.edges(), direct.edges());
+  EXPECT_EQ(pruned.num_components(), direct.num_components());
+}
+
+TEST(PageIndex, EmptyRangesReturnFullCopy) {
+  auto ds = make_ds();
+  PageIndexService svc(ds.meta);
+  const auto copy = svc.pruned_graph(1, 2, {"x", "y", "z"}, {});
+  EXPECT_EQ(copy.edges(), svc.full_graph(1, 2, {"x", "y", "z"}).edges());
+}
+
+TEST(PageIndex, PersistenceRoundTrip) {
+  auto ds = make_ds();
+  ByteWriter w;
+  {
+    PageIndexService svc(ds.meta);
+    svc.precompute(1, 2, {"x", "y", "z"});
+    svc.precompute(1, 2, {"x"});
+    svc.serialize(w);
+  }
+  PageIndexService fresh(ds.meta);
+  ByteReader r(w.bytes());
+  fresh.load(r);
+  EXPECT_EQ(fresh.num_cached(), 2u);
+  // Loaded indexes serve without rebuilding.
+  fresh.full_graph(1, 2, {"x", "y", "z"});
+  EXPECT_EQ(fresh.builds(), 0u);
+  EXPECT_EQ(fresh.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace orv

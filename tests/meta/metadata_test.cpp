@@ -1,0 +1,156 @@
+// MetaData Service: table registration, chunk bookkeeping, R-tree-backed
+// range lookup (paper's Section 4 range-query flow), persistence.
+
+#include "meta/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "datagen/generator.hpp"
+
+namespace orv {
+namespace {
+
+SchemaPtr schema4() {
+  return Schema::make({{"x", AttrType::Float32},
+                       {"y", AttrType::Float32},
+                       {"z", AttrType::Float32},
+                       {"oilp", AttrType::Float32}});
+}
+
+ChunkMeta chunk_at(TableId table, ChunkId id, double x0, double y0,
+                   double z0, double side) {
+  ChunkMeta cm;
+  cm.id = {table, id};
+  cm.schema = schema4();
+  cm.bounds = Rect(4);
+  cm.bounds[0] = {x0, x0 + side};
+  cm.bounds[1] = {y0, y0 + side};
+  cm.bounds[2] = {z0, z0 + side};
+  cm.bounds[3] = {0, 1};
+  cm.location.storage_node = id % 3;
+  cm.location.size = 1000;
+  cm.num_rows = 10;
+  cm.extractors = {"row-major"};
+  return cm;
+}
+
+TEST(MetaData, RegisterAndLookupTables) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  meta.register_table(2, "T2", schema4());
+  EXPECT_EQ(meta.num_tables(), 2u);
+  EXPECT_EQ(meta.table_name(1), "T1");
+  EXPECT_EQ(meta.table_by_name("T2"), 2u);
+  EXPECT_TRUE(meta.has_table("T1"));
+  EXPECT_FALSE(meta.has_table("T3"));
+  EXPECT_THROW(meta.table_by_name("T3"), NotFound);
+  EXPECT_THROW(meta.table_name(9), NotFound);
+}
+
+TEST(MetaData, RejectsDuplicateIdsAndNames) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  EXPECT_THROW(meta.register_table(1, "other", schema4()), InvalidArgument);
+  EXPECT_THROW(meta.register_table(2, "T1", schema4()), InvalidArgument);
+}
+
+TEST(MetaData, ChunkAccounting) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  meta.add_chunk(chunk_at(1, 0, 0, 0, 0, 15));
+  meta.add_chunk(chunk_at(1, 1, 16, 0, 0, 15));
+  EXPECT_EQ(meta.num_chunks(1), 2u);
+  EXPECT_EQ(meta.table_rows(1), 20u);
+  EXPECT_EQ(meta.table_bytes(1), 2000u);
+  EXPECT_EQ(meta.chunk({1, 1}).location.storage_node, 1u);
+  EXPECT_THROW(meta.chunk({1, 7}), NotFound);
+  EXPECT_THROW(meta.add_chunk(chunk_at(9, 0, 0, 0, 0, 1)), NotFound);
+}
+
+TEST(MetaData, ChunkBoundsMustMatchSchema) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  ChunkMeta bad = chunk_at(1, 0, 0, 0, 0, 15);
+  bad.bounds = Rect(2);
+  EXPECT_THROW(meta.add_chunk(std::move(bad)), InvalidArgument);
+}
+
+TEST(MetaData, FindChunksByRange) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  // 4x4 grid of 16-wide chunks in x,y at z=0.
+  ChunkId id = 0;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      meta.add_chunk(chunk_at(1, id++, 16.0 * x, 16.0 * y, 0, 15));
+    }
+  }
+  // The paper's example: x in [0,256], y in [0,512] — everything matches.
+  auto all = meta.find_chunks(1, {{"x", {0, 256}}, {"y", {0, 512}}});
+  EXPECT_EQ(all.size(), 16u);
+  // A corner query.
+  auto corner = meta.find_chunks(1, {{"x", {0, 10}}, {"y", {0, 10}}});
+  ASSERT_EQ(corner.size(), 1u);
+  EXPECT_EQ(corner[0], (SubTableId{1, 0}));
+  // A stripe.
+  auto stripe = meta.find_chunks(1, {{"y", {20, 30}}});
+  EXPECT_EQ(stripe.size(), 4u);
+  // Constraint on a scalar attribute.
+  auto none = meta.find_chunks(1, {{"oilp", {2.0, 3.0}}});
+  EXPECT_TRUE(none.empty());
+  // Unknown attribute: unconstrained for this table.
+  auto unknown = meta.find_chunks(1, {{"wp", {0.0, 0.1}}});
+  EXPECT_EQ(unknown.size(), 16u);
+}
+
+TEST(MetaData, FindChunksReflectsLaterAdds) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  meta.add_chunk(chunk_at(1, 0, 0, 0, 0, 15));
+  EXPECT_EQ(meta.find_chunks(1, {}).size(), 1u);
+  meta.add_chunk(chunk_at(1, 1, 16, 0, 0, 15));  // invalidates the index
+  EXPECT_EQ(meta.find_chunks(1, {}).size(), 2u);
+}
+
+TEST(MetaData, QueryRectIntersectsRepeatedRanges) {
+  MetaDataService meta;
+  meta.register_table(1, "T1", schema4());
+  const Rect rect =
+      meta.query_rect(1, {{"x", {0, 100}}, {"x", {50, 200}}});
+  EXPECT_EQ(rect[0], (Interval{50, 100}));
+}
+
+TEST(MetaData, SerializationRoundTrip) {
+  DatasetSpec spec;
+  spec.grid = {8, 8, 8};
+  spec.part1 = {4, 4, 4};
+  spec.part2 = {2, 2, 2};
+  spec.num_storage_nodes = 2;
+  auto ds = generate_dataset(spec);
+
+  ByteWriter w;
+  ds.meta.serialize(w);
+  ByteReader r(w.bytes());
+  MetaDataService back = MetaDataService::deserialize(r);
+
+  EXPECT_EQ(back.num_tables(), 2u);
+  EXPECT_EQ(back.table_name(spec.table1_id), "T1");
+  EXPECT_EQ(back.num_chunks(spec.table2_id),
+            ds.meta.num_chunks(spec.table2_id));
+  for (const auto& cm : ds.meta.chunks(spec.table1_id)) {
+    const auto& bc = back.chunk(cm.id);
+    EXPECT_EQ(bc.location, cm.location);
+    EXPECT_EQ(bc.bounds, cm.bounds);
+    EXPECT_EQ(bc.num_rows, cm.num_rows);
+    EXPECT_EQ(bc.extractors, cm.extractors);
+    EXPECT_EQ(*bc.schema, *cm.schema);
+  }
+  // The rebuilt service answers range queries identically.
+  const std::vector<AttrRange> q = {{"x", {0, 3}}, {"y", {0, 3}}};
+  EXPECT_EQ(back.find_chunks(spec.table2_id, q),
+            ds.meta.find_chunks(spec.table2_id, q));
+}
+
+}  // namespace
+}  // namespace orv

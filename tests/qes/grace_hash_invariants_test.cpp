@@ -1,0 +1,142 @@
+// Grace Hash internals: the properties its correctness and the cost
+// model's shape rest on — h1/h2 independence, partition balance, bucket
+// completeness, byte accounting.
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "datagen/generator.hpp"
+#include "join/key.hpp"
+#include "qes/qes.hpp"
+#include "sim/engine.hpp"
+
+namespace orv {
+namespace {
+
+SubTable coordinate_rows(std::size_t n) {
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"y", AttrType::Float32},
+                              {"z", AttrType::Float32}});
+  SubTable st(schema, SubTableId{1, 0});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value vals[] = {Value(float(i % 64)), Value(float((i / 64) % 64)),
+                          Value(float(i / 4096))};
+    st.append_values(vals);
+  }
+  return st;
+}
+
+TEST(GraceHashInvariants, H1PartitionIsRoughlyBalanced) {
+  const SubTable rows = coordinate_rows(20000);
+  const JoinKey key = JoinKey::resolve(rows.schema(), {"x", "y", "z"});
+  for (std::size_t n_dest : {2u, 5u, 7u}) {
+    std::vector<std::size_t> counts(n_dest, 0);
+    for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+      counts[key.hash_row(rows.row(r), kSaltGraceH1) % n_dest]++;
+    }
+    const double expected = 20000.0 / n_dest;
+    for (const auto c : counts) {
+      EXPECT_NEAR(static_cast<double>(c), expected, 0.1 * expected)
+          << "n_dest=" << n_dest;
+    }
+  }
+}
+
+TEST(GraceHashInvariants, H2IndependentOfH1) {
+  // Within one h1 partition, h2 must still spread records across buckets:
+  // if h2 were correlated with h1, some buckets would be empty.
+  const SubTable rows = coordinate_rows(20000);
+  const JoinKey key = JoinKey::resolve(rows.schema(), {"x", "y", "z"});
+  const std::size_t n_dest = 5;
+  const std::size_t n_buckets = 8;
+  std::vector<std::size_t> bucket_counts(n_buckets, 0);
+  std::size_t in_partition = 0;
+  for (std::size_t r = 0; r < rows.num_rows(); ++r) {
+    if (key.hash_row(rows.row(r), kSaltGraceH1) % n_dest != 2) continue;
+    ++in_partition;
+    bucket_counts[key.hash_row(rows.row(r), kSaltGraceH2) % n_buckets]++;
+  }
+  ASSERT_GT(in_partition, 1000u);
+  const double expected = static_cast<double>(in_partition) / n_buckets;
+  for (const auto c : bucket_counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, 0.25 * expected);
+  }
+}
+
+TEST(GraceHashInvariants, SameKeySameDestinationAcrossSchemas) {
+  // Left and right tables have different schemas; equal coordinates must
+  // route to the same compute node and the same bucket.
+  auto ls = Schema::make({{"x", AttrType::Float32},
+                          {"y", AttrType::Float32},
+                          {"oilp", AttrType::Float32}});
+  auto rs = Schema::make({{"x", AttrType::Float32},
+                          {"wp", AttrType::Float64},
+                          {"y", AttrType::Float32}});
+  SubTable left(ls, {1, 0});
+  SubTable right(rs, {2, 0});
+  for (int i = 0; i < 100; ++i) {
+    const Value lv[] = {Value(float(i)), Value(float(i * 2)), Value(0.0f)};
+    left.append_values(lv);
+    const Value rv[] = {Value(float(i)), Value(1.0), Value(float(i * 2))};
+    right.append_values(rv);
+  }
+  const JoinKey lkey = JoinKey::resolve(*ls, {"x", "y"});
+  const JoinKey rkey = JoinKey::resolve(*rs, {"x", "y"});
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(lkey.hash_row(left.row(r), kSaltGraceH1),
+              rkey.hash_row(right.row(r), kSaltGraceH1));
+    EXPECT_EQ(lkey.hash_row(left.row(r), kSaltGraceH2),
+              rkey.hash_row(right.row(r), kSaltGraceH2));
+  }
+}
+
+TEST(GraceHashInvariants, ByteAccountingConsistent) {
+  DatasetSpec spec;
+  spec.grid = {16, 16, 16};
+  spec.part1 = {8, 8, 8};
+  spec.part2 = {4, 4, 4};
+  spec.num_storage_nodes = 2;
+  auto ds = generate_dataset(spec);
+  sim::Engine engine;
+  ClusterSpec cspec;
+  cspec.num_storage = 2;
+  cspec.num_compute = 3;
+  Cluster cluster(engine, cspec);
+  BdsService bds(cluster, ds.meta, ds.stores);
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+  const auto res = run_grace_hash(cluster, bds, ds.meta, query);
+
+  const double record_bytes =
+      static_cast<double>(ds.meta.table_rows(1) * 16 +
+                          ds.meta.table_rows(2) * 16);
+  // Every record crosses the network exactly once...
+  EXPECT_DOUBLE_EQ(res.network_bytes, record_bytes);
+  // ... is written to exactly one bucket and read back exactly once.
+  EXPECT_DOUBLE_EQ(res.scratch_write_bytes, record_bytes);
+  EXPECT_DOUBLE_EQ(res.scratch_read_bytes, record_bytes);
+  // Chunk reads cover both tables (headers make them slightly larger).
+  EXPECT_GE(res.storage_disk_read_bytes, record_bytes);
+}
+
+TEST(GraceHashInvariants, PhaseDecompositionSumsToElapsed) {
+  DatasetSpec spec;
+  spec.grid = {16, 16, 16};
+  spec.part1 = {4, 4, 4};
+  spec.part2 = {4, 4, 4};
+  spec.num_storage_nodes = 2;
+  auto ds = generate_dataset(spec);
+  sim::Engine engine;
+  ClusterSpec cspec;
+  cspec.num_storage = 2;
+  cspec.num_compute = 2;
+  Cluster cluster(engine, cspec);
+  BdsService bds(cluster, ds.meta, ds.stores);
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+  const auto res = run_grace_hash(cluster, bds, ds.meta, query);
+  EXPECT_GT(res.partition_phase, 0.0);
+  EXPECT_GT(res.join_phase, 0.0);
+  EXPECT_NEAR(res.partition_phase + res.join_phase, res.elapsed, 1e-9);
+}
+
+}  // namespace
+}  // namespace orv

@@ -1,0 +1,154 @@
+// Query Planning Service: decisions follow the cost models, the measured
+// (metadata-driven) path agrees with the closed-form path, and the chosen
+// algorithm is never slower than the rejected one by more than the model
+// error across a scenario sweep.
+
+#include "qps/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.hpp"
+#include "sim/engine.hpp"
+
+namespace orv {
+namespace {
+
+TEST(Planner, PicksIjForLowNeCs) {
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = {8, 8, 8};
+  data.part2 = {8, 8, 8};
+  QueryPlanner planner((ClusterSpec()));
+  const auto d = planner.plan(analyze(data), 16, 16);
+  EXPECT_EQ(d.chosen, Algorithm::IndexedJoin);
+  EXPECT_LT(d.ij.total(), d.gh.total());
+  EXPECT_DOUBLE_EQ(d.predicted_seconds(), d.ij.total());
+}
+
+TEST(Planner, PicksGhForHighNeCs) {
+  DatasetSpec data;
+  data.grid = {64, 64, 64};
+  data.part1 = {32, 1, 8};  // s = 32: n_e*c_S = 32T, far past crossover
+  data.part2 = {1, 32, 8};
+  QueryPlanner planner((ClusterSpec()));
+  const auto d = planner.plan(analyze(data), 16, 16);
+  EXPECT_EQ(d.chosen, Algorithm::GraceHash);
+  EXPECT_DOUBLE_EQ(d.predicted_seconds(), d.gh.total());
+}
+
+TEST(Planner, MeasuredPathAgreesWithClosedForm) {
+  DatasetSpec data;
+  data.grid = {16, 16, 16};
+  data.part1 = {8, 4, 8};
+  data.part2 = {4, 8, 8};
+  data.num_storage_nodes = 3;
+  auto ds = generate_dataset(data);
+  const auto graph =
+      ConnectivityGraph::build(ds.meta, 1, 2, {"x", "y", "z"});
+  ClusterSpec cspec;
+  cspec.num_storage = 3;
+  cspec.num_compute = 2;
+  QueryPlanner planner(cspec);
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+  const auto measured = planner.plan(ds.meta, graph, query);
+  const auto closed = planner.plan(ds.stats, 16, 16);
+  EXPECT_EQ(measured.chosen, closed.chosen);
+  EXPECT_NEAR(measured.ij.total(), closed.ij.total(), 1e-12);
+  EXPECT_NEAR(measured.gh.total(), closed.gh.total(), 1e-12);
+}
+
+TEST(Planner, CpuFactorShiftsDecision) {
+  // A dataset near the crossover flips with computing power (Fig. 8).
+  DatasetSpec data;
+  data.grid = {64, 64, 64};
+  data.part1 = {32, 2, 8};  // s = 16, near the 2006 crossover
+  data.part2 = {2, 32, 8};
+  QueryPlanner planner((ClusterSpec()));
+  const auto stats = analyze(data);
+  const auto slow = planner.plan(stats, 16, 16, 0.125);
+  const auto fast = planner.plan(stats, 16, 16, 8.0);
+  EXPECT_EQ(slow.chosen, Algorithm::GraceHash);
+  EXPECT_EQ(fast.chosen, Algorithm::IndexedJoin);
+}
+
+TEST(Planner, ExecuteRunsChosenAlgorithm) {
+  DatasetSpec data;
+  data.grid = {8, 8, 8};
+  data.part1 = {4, 4, 4};
+  data.part2 = {4, 4, 4};
+  data.num_storage_nodes = 2;
+  auto ds = generate_dataset(data);
+  ClusterSpec cspec;
+  cspec.num_storage = 2;
+  cspec.num_compute = 2;
+  sim::Engine engine;
+  Cluster cluster(engine, cspec);
+  BdsService bds(cluster, ds.meta, ds.stores);
+  QueryPlanner planner(cspec);
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+  const auto graph =
+      ConnectivityGraph::build(ds.meta, 1, 2, query.join_attrs);
+  const auto decision = planner.plan(ds.meta, graph, query);
+  const auto result =
+      planner.execute(decision, cluster, bds, ds.meta, graph, query);
+  EXPECT_EQ(result.result_tuples, 512u);
+  // IJ was chosen here (low n_e*c_S) -> no bucket I/O happened.
+  EXPECT_EQ(decision.chosen, Algorithm::IndexedJoin);
+  EXPECT_DOUBLE_EQ(result.scratch_write_bytes, 0.0);
+}
+
+// Sweep: whatever the planner picks must indeed be the faster algorithm in
+// simulation (within a slack factor for model error) across shapes.
+struct PlanCase {
+  Dim3 p, q;
+};
+class PlannerAgreement : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(PlannerAgreement, ChoiceIsSimulationWinnerOrClose) {
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = GetParam().p;
+  data.part2 = GetParam().q;
+  data.num_storage_nodes = 5;
+  auto ds = generate_dataset(data);
+  ClusterSpec cspec;
+  QueryPlanner planner(cspec);
+  const auto d = planner.plan(ds.stats, 16, 16);
+
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+  const auto graph =
+      ConnectivityGraph::build(ds.meta, 1, 2, query.join_attrs);
+  double sim_ij = 0;
+  double sim_gh = 0;
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    sim_ij =
+        run_indexed_join(cluster, bds, ds.meta, graph, query).elapsed;
+  }
+  {
+    sim::Engine engine;
+    Cluster cluster(engine, cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    sim_gh = run_grace_hash(cluster, bds, ds.meta, query).elapsed;
+  }
+  const double chosen =
+      d.chosen == Algorithm::IndexedJoin ? sim_ij : sim_gh;
+  const double other =
+      d.chosen == Algorithm::IndexedJoin ? sim_gh : sim_ij;
+  EXPECT_LT(chosen, 1.25 * other)
+      << "planner picked " << algorithm_name(d.chosen) << " but sim says IJ="
+      << sim_ij << " GH=" << sim_gh;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlannerAgreement,
+    ::testing::Values(PlanCase{{8, 8, 8}, {8, 8, 8}},
+                      PlanCase{{16, 4, 8}, {4, 16, 8}},
+                      PlanCase{{16, 1, 8}, {1, 16, 8}},
+                      PlanCase{{16, 16, 16}, {4, 4, 4}},
+                      PlanCase{{32, 4, 4}, {4, 32, 4}}));
+
+}  // namespace
+}  // namespace orv

@@ -1,0 +1,214 @@
+// Query language: parsing of every construct, error positions, binding to
+// operator trees.
+
+#include "query/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "datagen/generator.hpp"
+
+namespace orv {
+namespace {
+
+TEST(Parser, SelectStar) {
+  const auto q = parse_query("SELECT * FROM T1");
+  EXPECT_TRUE(q.select_all);
+  EXPECT_EQ(q.from, "T1");
+  EXPECT_TRUE(q.where.empty());
+}
+
+TEST(Parser, SelectColumns) {
+  const auto q = parse_query("select wp, soil from V1");
+  ASSERT_EQ(q.items.size(), 2u);
+  EXPECT_EQ(q.items[0].column, "wp");
+  EXPECT_EQ(q.items[1].column, "soil");
+  EXPECT_FALSE(q.items[0].is_aggregate);
+  EXPECT_EQ(q.from, "V1");
+}
+
+TEST(Parser, WhereInRanges) {
+  // The paper's example query.
+  const auto q = parse_query(
+      "SELECT * FROM T1 WHERE x IN [0, 256] AND y IN [0, 512]");
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].attr, "x");
+  EXPECT_DOUBLE_EQ(q.where[0].range.lo, 0);
+  EXPECT_DOUBLE_EQ(q.where[0].range.hi, 256);
+  EXPECT_EQ(q.where[1].attr, "y");
+  EXPECT_DOUBLE_EQ(q.where[1].range.hi, 512);
+}
+
+TEST(Parser, WhereBetweenAndComparisons) {
+  const auto q = parse_query(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b >= 3 AND c < 4 AND "
+      "d = 5");
+  ASSERT_EQ(q.where.size(), 4u);
+  EXPECT_DOUBLE_EQ(q.where[0].range.lo, 1);
+  EXPECT_DOUBLE_EQ(q.where[0].range.hi, 2);
+  EXPECT_DOUBLE_EQ(q.where[1].range.lo, 3);
+  EXPECT_TRUE(std::isinf(q.where[1].range.hi));
+  EXPECT_LT(q.where[2].range.hi, 4);
+  EXPECT_DOUBLE_EQ(q.where[3].range.lo, 5);
+  EXPECT_DOUBLE_EQ(q.where[3].range.hi, 5);
+}
+
+TEST(Parser, NegativeAndScientificNumbers) {
+  const auto q =
+      parse_query("SELECT * FROM t WHERE a IN [-2.5, 1e3] AND b > -0.5");
+  EXPECT_DOUBLE_EQ(q.where[0].range.lo, -2.5);
+  EXPECT_DOUBLE_EQ(q.where[0].range.hi, 1000);
+  EXPECT_GT(q.where[1].range.lo, -0.5 - 1e-9);
+}
+
+TEST(Parser, Aggregates) {
+  const auto q = parse_query(
+      "SELECT AVG(wp) AS avg_wp, COUNT(*) AS n, SUM(oilp) FROM V1");
+  ASSERT_EQ(q.items.size(), 3u);
+  EXPECT_TRUE(q.items[0].is_aggregate);
+  EXPECT_EQ(q.items[0].fn, AggSpec::Fn::Avg);
+  EXPECT_EQ(q.items[0].column, "wp");
+  EXPECT_EQ(q.items[0].alias, "avg_wp");
+  EXPECT_EQ(q.items[1].fn, AggSpec::Fn::Count);
+  EXPECT_TRUE(q.items[1].column.empty());
+  EXPECT_EQ(q.items[2].fn, AggSpec::Fn::Sum);
+  EXPECT_TRUE(q.items[2].alias.empty());
+}
+
+TEST(Parser, GroupByHaving) {
+  const auto q = parse_query(
+      "SELECT reservoir, AVG(wp) FROM V GROUP BY reservoir HAVING "
+      "AVG(wp) > 0.5");
+  EXPECT_EQ(q.group_by, std::vector<std::string>{"reservoir"});
+  ASSERT_TRUE(q.having.has_value());
+  EXPECT_EQ(q.having->fn, AggSpec::Fn::Avg);
+  EXPECT_EQ(q.having->attr, "wp");
+  EXPECT_EQ(q.having->op, ">");
+  EXPECT_DOUBLE_EQ(q.having->value, 0.5);
+}
+
+TEST(Parser, OrderByAndLimit) {
+  const auto q = parse_query(
+      "SELECT * FROM V ORDER BY wp DESC, x, y ASC LIMIT 10");
+  ASSERT_EQ(q.order_by.size(), 3u);
+  EXPECT_EQ(q.order_by[0].attr, "wp");
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_EQ(q.order_by[1].attr, "x");
+  EXPECT_FALSE(q.order_by[1].descending);
+  EXPECT_FALSE(q.order_by[2].descending);
+  EXPECT_EQ(q.limit, 10u);
+}
+
+TEST(Parser, LimitWithoutOrderBy) {
+  const auto q = parse_query("SELECT * FROM V LIMIT 3");
+  EXPECT_TRUE(q.order_by.empty());
+  EXPECT_EQ(q.limit, 3u);
+}
+
+TEST(Parser, LimitValidation) {
+  EXPECT_THROW(parse_query("SELECT * FROM V LIMIT 0"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM V LIMIT 2.5"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM V ORDER x"), InvalidArgument);
+}
+
+TEST(Parser, TrailingSemicolonAllowed) {
+  EXPECT_NO_THROW(parse_query("SELECT * FROM T1;"));
+}
+
+TEST(Parser, SyntaxErrorsCarryPosition) {
+  try {
+    parse_query("SELECT * FORM T1");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("FROM"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedQueries) {
+  EXPECT_THROW(parse_query(""), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT FROM T1"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM T1 WHERE"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM T1 WHERE x IN [1 2]"),
+               InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM T1 trailing"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT AVG(*) FROM T1"), InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM T1 HAVING x > 1"),
+               InvalidArgument);
+  EXPECT_THROW(parse_query("SELECT * FROM T1 GROUP x"), InvalidArgument);
+}
+
+// ---- binding ----
+
+struct Catalog {
+  GeneratedDataset ds;
+  Catalog() {
+    DatasetSpec spec;
+    spec.grid = {8, 8, 8};
+    spec.part1 = {4, 4, 4};
+    spec.part2 = {4, 4, 4};
+    spec.num_storage_nodes = 2;
+    ds = generate_dataset(spec);
+  }
+};
+
+TEST(Binder, SelectStarIsBareView) {
+  Catalog c;
+  const auto bound =
+      bind_query(parse_query("SELECT * FROM T1"), ViewDef::base(1), c.ds.meta);
+  EXPECT_EQ(bound->kind, ViewDef::Kind::BaseTable);
+}
+
+TEST(Binder, WhereBecomesSelect) {
+  Catalog c;
+  const auto bound = bind_query(parse_query("SELECT * FROM T1 WHERE x < 4"),
+                                ViewDef::base(1), c.ds.meta);
+  EXPECT_EQ(bound->kind, ViewDef::Kind::Select);
+  EXPECT_EQ(bound->input->kind, ViewDef::Kind::BaseTable);
+}
+
+TEST(Binder, ColumnsBecomeProject) {
+  Catalog c;
+  const auto bound = bind_query(parse_query("SELECT oilp, x FROM T1"),
+                                ViewDef::base(1), c.ds.meta);
+  EXPECT_EQ(bound->kind, ViewDef::Kind::Project);
+  EXPECT_EQ(bound->columns, (std::vector<std::string>{"oilp", "x"}));
+}
+
+TEST(Binder, AggregateQueryShape) {
+  Catalog c;
+  const auto bound = bind_query(
+      parse_query("SELECT z, AVG(oilp) AS a FROM T1 GROUP BY z HAVING "
+                  "AVG(oilp) >= 0.2"),
+      ViewDef::base(1), c.ds.meta);
+  // Select(HAVING) over Aggregate.
+  EXPECT_EQ(bound->kind, ViewDef::Kind::Select);
+  EXPECT_EQ(bound->input->kind, ViewDef::Kind::Aggregate);
+  EXPECT_EQ(bound->input->group_by, std::vector<std::string>{"z"});
+  ASSERT_EQ(bound->input->aggs.size(), 1u);  // HAVING reuses the same agg
+  EXPECT_EQ(bound->input->aggs[0].as, "a");
+  EXPECT_EQ(bound->ranges[0].attr, "a");
+}
+
+TEST(Binder, HavingAddsHiddenAggregate) {
+  Catalog c;
+  const auto bound = bind_query(
+      parse_query("SELECT z, COUNT(*) AS n FROM T1 GROUP BY z HAVING "
+                  "AVG(oilp) > 0.5"),
+      ViewDef::base(1), c.ds.meta);
+  ASSERT_EQ(bound->input->aggs.size(), 2u);
+  EXPECT_EQ(bound->input->aggs[1].fn, AggSpec::Fn::Avg);
+}
+
+TEST(Binder, NonGroupedPlainColumnRejected) {
+  Catalog c;
+  EXPECT_THROW(bind_query(parse_query("SELECT z, AVG(oilp) FROM T1"),
+                          ViewDef::base(1), c.ds.meta),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace orv

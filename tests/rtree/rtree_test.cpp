@@ -1,0 +1,188 @@
+// R-tree: query correctness against brute force (property sweep over
+// random boxes and random queries), dynamic insert vs bulk load
+// equivalence, structural invariants, degenerate inputs.
+
+#include "rtree/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace orv {
+namespace {
+
+Rect random_box(Xoshiro256StarStar& rng, std::size_t dims, double world,
+                double max_side) {
+  Rect r(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double lo = rng.uniform(0, world);
+    r[d] = {lo, lo + rng.uniform(0, max_side)};
+  }
+  return r;
+}
+
+std::vector<std::uint64_t> brute_force(
+    const std::vector<std::pair<Rect, std::uint64_t>>& boxes,
+    const Rect& query) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [box, id] : boxes) {
+    if (box.overlaps(query)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RTree, EmptyTreeQueriesNothing) {
+  RTree tree(3);
+  EXPECT_TRUE(tree.query(Rect::unbounded(3)).empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+}
+
+TEST(RTree, SingleEntry) {
+  RTree tree(2);
+  Rect box(2);
+  box[0] = {1, 2};
+  box[1] = {1, 2};
+  tree.insert(box, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  Rect hit(2);
+  hit[0] = {1.5, 3};
+  hit[1] = {0, 1.5};
+  EXPECT_EQ(tree.query(hit), std::vector<std::uint64_t>{42});
+  Rect miss(2);
+  miss[0] = {3, 4};
+  miss[1] = {3, 4};
+  EXPECT_TRUE(tree.query(miss).empty());
+}
+
+TEST(RTree, DuplicateBoxesAllReturned) {
+  RTree tree(1);
+  Rect box(1);
+  box[0] = {0, 1};
+  for (std::uint64_t i = 0; i < 10; ++i) tree.insert(box, i);
+  auto got = tree.query(box);
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(RTree, DimensionMismatchThrows) {
+  RTree tree(3);
+  EXPECT_THROW(tree.insert(Rect(2), 0), InvalidArgument);
+  EXPECT_THROW(tree.query(Rect(4)), InvalidArgument);
+}
+
+TEST(RTree, FanOutValidation) {
+  EXPECT_THROW(RTree(3, 2), InvalidArgument);
+  EXPECT_THROW(RTree(0), InvalidArgument);
+}
+
+TEST(RTree, GrowsInHeightUnderInserts) {
+  RTree tree(2, 4);
+  Xoshiro256StarStar rng(5);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    tree.insert(random_box(rng, 2, 100, 5), i);
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_GT(tree.node_count(), 10u);
+  // Everything is found by an all-covering query.
+  EXPECT_EQ(tree.query(Rect::unbounded(2)).size(), 200u);
+}
+
+TEST(RTree, UnboundedBoxesHandled) {
+  RTree tree(2);
+  tree.insert(Rect::unbounded(2), 1);  // e.g. a chunk missing an attribute
+  Rect finite(2);
+  finite[0] = {0, 1};
+  finite[1] = {0, 1};
+  tree.insert(finite, 2);
+  Rect q(2);
+  q[0] = {100, 101};
+  q[1] = {100, 101};
+  EXPECT_EQ(tree.query(q), std::vector<std::uint64_t>{1});
+}
+
+TEST(RTree, ManyUnboundedBoxesForceDegenerateSplit) {
+  RTree tree(2, 4);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Rect r = Rect::unbounded(2);
+    r[0] = {static_cast<double>(i), static_cast<double>(i) + 1};
+    // dim 1 unbounded -> infinite volume path
+    tree.insert(r, i);
+  }
+  EXPECT_EQ(tree.query(Rect::unbounded(2)).size(), 50u);
+  Rect q(2);
+  q[0] = {10.5, 11.5};
+  q[1] = {0, 1};
+  const auto got = tree.query(q);
+  EXPECT_EQ(got.size(), 2u);  // boxes 10 and 11
+}
+
+struct SweepParams {
+  std::size_t dims;
+  std::size_t n_boxes;
+  bool bulk;
+};
+
+class RTreeProperty : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(RTreeProperty, MatchesBruteForce) {
+  const auto& p = GetParam();
+  Xoshiro256StarStar rng(1234 + p.n_boxes + p.dims);
+  std::vector<std::pair<Rect, std::uint64_t>> boxes;
+  for (std::uint64_t i = 0; i < p.n_boxes; ++i) {
+    boxes.emplace_back(random_box(rng, p.dims, 100, 10), i);
+  }
+  RTree tree(p.dims, 8);
+  if (p.bulk) {
+    tree.bulk_load(boxes);
+  } else {
+    for (const auto& [box, id] : boxes) tree.insert(box, id);
+  }
+  ASSERT_EQ(tree.size(), p.n_boxes);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect q = random_box(rng, p.dims, 110, 30);
+    auto got = tree.query(q);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_force(boxes, q)) << "dims=" << p.dims;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeProperty,
+    ::testing::Values(SweepParams{1, 100, false}, SweepParams{1, 100, true},
+                      SweepParams{2, 300, false}, SweepParams{2, 300, true},
+                      SweepParams{3, 500, false}, SweepParams{3, 500, true},
+                      SweepParams{4, 200, false}, SweepParams{4, 200, true},
+                      SweepParams{3, 1, true}, SweepParams{3, 9, true}));
+
+TEST(RTree, BulkLoadPacksTighterThanInserts) {
+  Xoshiro256StarStar rng(9);
+  std::vector<std::pair<Rect, std::uint64_t>> boxes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    boxes.emplace_back(random_box(rng, 2, 100, 3), i);
+  }
+  RTree bulk(2, 8);
+  bulk.bulk_load(boxes);
+  RTree dynamic(2, 8);
+  for (const auto& [box, id] : boxes) dynamic.insert(box, id);
+  EXPECT_LE(bulk.node_count(), dynamic.node_count());
+}
+
+TEST(RTree, BulkLoadReplacesContent) {
+  RTree tree(1);
+  Rect r(1);
+  r[0] = {0, 1};
+  tree.insert(r, 7);
+  tree.bulk_load({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.query(Rect::unbounded(1)).empty());
+}
+
+}  // namespace
+}  // namespace orv

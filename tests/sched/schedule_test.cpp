@@ -1,0 +1,159 @@
+// Two-stage IJ schedule: equal component distribution, lexicographic pair
+// order, coverage (every edge scheduled exactly once), and the LRU
+// fetch-count analysis hook.
+
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "datagen/generator.hpp"
+
+namespace orv {
+namespace {
+
+struct Fixture {
+  GeneratedDataset ds;
+  ConnectivityGraph graph;
+
+  explicit Fixture(Dim3 p = {8, 4, 8}, Dim3 q = {4, 8, 8}) {
+    DatasetSpec spec;
+    spec.grid = {16, 16, 16};
+    spec.part1 = p;
+    spec.part2 = q;
+    spec.num_storage_nodes = 2;
+    ds = generate_dataset(spec);
+    graph = ConnectivityGraph::build(ds.meta, spec.table1_id, spec.table2_id,
+                                     {"x", "y", "z"});
+  }
+};
+
+TEST(Schedule, CoversEveryEdgeExactlyOnce) {
+  Fixture f;
+  const Schedule s = make_schedule(f.graph, 3);
+  std::vector<SubTablePair> all;
+  for (const auto& node : s.pairs_per_node) {
+    all.insert(all.end(), node.begin(), node.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, f.graph.edges());  // edges() is sorted + deduplicated
+}
+
+TEST(Schedule, RoundRobinBalancesComponentCounts) {
+  Fixture f;
+  const std::size_t n_nodes = 4;
+  const Schedule s = make_schedule(f.graph, n_nodes);
+  // Components are equal-sized here, so pair counts are balanced too.
+  const std::size_t total = f.graph.num_edges();
+  const std::size_t per = total / n_nodes;
+  for (const auto& node : s.pairs_per_node) {
+    EXPECT_GE(node.size(), per - per / 2);
+    EXPECT_LE(node.size(), per + per / 2 + 1);
+  }
+  EXPECT_EQ(s.total_pairs(), total);
+  EXPECT_GE(s.max_pairs_per_node(), per);
+}
+
+TEST(Schedule, LexicographicOrderWithinNode) {
+  Fixture f;
+  const Schedule s = make_schedule(f.graph, 2);
+  for (const auto& node : s.pairs_per_node) {
+    EXPECT_TRUE(std::is_sorted(node.begin(), node.end()));
+  }
+}
+
+TEST(Schedule, ShuffledIsPermutationOfLexicographic) {
+  Fixture f;
+  const Schedule lex = make_schedule(f.graph, 2);
+  const Schedule shuf = make_schedule(f.graph, 2, ComponentAssign::RoundRobin,
+                                      PairOrder::Shuffled, 17);
+  for (std::size_t n = 0; n < 2; ++n) {
+    auto a = lex.pairs_per_node[n];
+    auto b = shuf.pairs_per_node[n];
+    EXPECT_NE(a, b);  // overwhelmingly likely with dozens of pairs
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Schedule, RandomAssignDeterministicPerSeed) {
+  Fixture f;
+  const Schedule a = make_schedule(f.graph, 3, ComponentAssign::Random,
+                                   PairOrder::Lexicographic, 5);
+  const Schedule b = make_schedule(f.graph, 3, ComponentAssign::Random,
+                                   PairOrder::Lexicographic, 5);
+  const Schedule c = make_schedule(f.graph, 3, ComponentAssign::Random,
+                                   PairOrder::Lexicographic, 6);
+  EXPECT_EQ(a.pairs_per_node, b.pairs_per_node);
+  EXPECT_NE(a.pairs_per_node, c.pairs_per_node);
+}
+
+TEST(Schedule, SingleNodeGetsEverything) {
+  Fixture f;
+  const Schedule s = make_schedule(f.graph, 1);
+  EXPECT_EQ(s.pairs_per_node[0].size(), f.graph.num_edges());
+}
+
+TEST(Schedule, NeedsAtLeastOneNode) {
+  Fixture f;
+  EXPECT_THROW(make_schedule(f.graph, 0), InvalidArgument);
+}
+
+TEST(Schedule, LruFetchAnalysisNoRefetchUnderPaperAssumption) {
+  Fixture f;
+  const Schedule s = make_schedule(f.graph, 2);
+  const auto& stats = f.ds.stats;
+  // Plenty of memory: fetches == distinct sub-tables per node.
+  for (std::size_t n = 0; n < 2; ++n) {
+    std::size_t components_on_node = 0;
+    for (std::size_t c = n; c < f.graph.num_components(); c += 2) {
+      ++components_on_node;
+    }
+    const std::size_t expected =
+        components_on_node * (stats.a + stats.b);
+    EXPECT_EQ(s.fetches_with_lru(n, 1ull << 30, f.ds.meta), expected);
+  }
+}
+
+TEST(Schedule, GreedyLocalityIsPermutationOfEdges) {
+  Fixture f;
+  const Schedule lex = make_schedule(f.graph, 2);
+  const Schedule greedy = make_schedule(f.graph, 2, ComponentAssign::RoundRobin,
+                                        PairOrder::GreedyLocality);
+  for (std::size_t n = 0; n < 2; ++n) {
+    auto a = lex.pairs_per_node[n];
+    auto b = greedy.pairs_per_node[n];
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Schedule, GreedyLocalityNeverWorseThanShuffledUnderTinyCache) {
+  Fixture f;
+  const Schedule greedy = make_schedule(f.graph, 1, ComponentAssign::RoundRobin,
+                                        PairOrder::GreedyLocality);
+  const Schedule shuf = make_schedule(f.graph, 1, ComponentAssign::RoundRobin,
+                                      PairOrder::Shuffled, 3);
+  const std::uint64_t tiny = 3 * f.ds.stats.c_S * 16;
+  EXPECT_LE(greedy.fetches_with_lru(0, tiny, f.ds.meta),
+            shuf.fetches_with_lru(0, tiny, f.ds.meta));
+}
+
+TEST(Schedule, LruFetchAnalysisTinyCacheRefetches) {
+  Fixture f;
+  const Schedule lex = make_schedule(f.graph, 1);
+  const Schedule shuf = make_schedule(f.graph, 1, ComponentAssign::RoundRobin,
+                                      PairOrder::Shuffled, 3);
+  // A cache that holds ~2 sub-tables.
+  const std::uint64_t tiny = 3 * f.ds.stats.c_S * 16;
+  const std::size_t lex_fetches = lex.fetches_with_lru(0, tiny, f.ds.meta);
+  const std::size_t shuf_fetches = shuf.fetches_with_lru(0, tiny, f.ds.meta);
+  EXPECT_LE(lex_fetches, shuf_fetches);
+  EXPECT_GT(shuf_fetches,
+            f.graph.num_components() * (f.ds.stats.a + f.ds.stats.b));
+}
+
+}  // namespace
+}  // namespace orv

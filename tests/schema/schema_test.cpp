@@ -1,0 +1,117 @@
+// Schema: layout computation, lookup, projection, join-result schemas,
+// serialization round-trips, validation errors.
+
+#include "schema/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+Schema oil_schema() {
+  return Schema({{"x", AttrType::Float32},
+                 {"y", AttrType::Float32},
+                 {"z", AttrType::Float32},
+                 {"oilp", AttrType::Float32}});
+}
+
+TEST(Schema, PackedLayoutOffsets) {
+  Schema s({{"a", AttrType::Int32},
+            {"b", AttrType::Float64},
+            {"c", AttrType::Int64},
+            {"d", AttrType::Float32}});
+  EXPECT_EQ(s.record_size(), 4u + 8 + 8 + 4);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 20u);
+}
+
+TEST(Schema, AttrSizes) {
+  EXPECT_EQ(attr_size(AttrType::Int32), 4u);
+  EXPECT_EQ(attr_size(AttrType::Int64), 8u);
+  EXPECT_EQ(attr_size(AttrType::Float32), 4u);
+  EXPECT_EQ(attr_size(AttrType::Float64), 8u);
+}
+
+TEST(Schema, IndexLookup) {
+  const Schema s = oil_schema();
+  EXPECT_EQ(s.index_of("x"), std::optional<std::size_t>(0));
+  EXPECT_EQ(s.index_of("oilp"), std::optional<std::size_t>(3));
+  EXPECT_EQ(s.index_of("nope"), std::nullopt);
+  EXPECT_EQ(s.require_index("z"), 2u);
+  EXPECT_THROW(s.require_index("nope"), NotFound);
+  EXPECT_TRUE(s.has("y"));
+  EXPECT_FALSE(s.has("Y"));  // case-sensitive
+}
+
+TEST(Schema, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(Schema({}), InvalidArgument);
+  EXPECT_THROW(Schema({{"a", AttrType::Int32}, {"a", AttrType::Int32}}),
+               InvalidArgument);
+  EXPECT_THROW(Schema({{"", AttrType::Int32}}), InvalidArgument);
+}
+
+TEST(Schema, Projection) {
+  const Schema s = oil_schema();
+  const Schema p = s.project({3, 0});
+  EXPECT_EQ(p.num_attrs(), 2u);
+  EXPECT_EQ(p.attr(0).name, "oilp");
+  EXPECT_EQ(p.attr(1).name, "x");
+  EXPECT_EQ(p.record_size(), 8u);
+}
+
+TEST(Schema, JoinResultDropsRightKeys) {
+  const Schema left = oil_schema();
+  const Schema right({{"x", AttrType::Float32},
+                      {"y", AttrType::Float32},
+                      {"z", AttrType::Float32},
+                      {"wp", AttrType::Float32}});
+  const Schema joined = Schema::join_result(left, right, {0, 1, 2});
+  EXPECT_EQ(joined.num_attrs(), 5u);
+  EXPECT_EQ(joined.attr(4).name, "wp");
+}
+
+TEST(Schema, JoinResultRenamesCollisions) {
+  const Schema left({{"x", AttrType::Float32}, {"v", AttrType::Float32}});
+  const Schema right({{"x", AttrType::Float32}, {"v", AttrType::Float32}});
+  const Schema joined = Schema::join_result(left, right, {0});
+  EXPECT_EQ(joined.num_attrs(), 3u);
+  EXPECT_EQ(joined.attr(2).name, "v_r");
+}
+
+TEST(Schema, SerializationRoundTrip) {
+  const Schema s({{"a", AttrType::Int64},
+                  {"long_name_attribute", AttrType::Float64},
+                  {"c", AttrType::Int32}});
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.bytes());
+  const Schema back = Schema::deserialize(r);
+  EXPECT_EQ(s, back);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Schema, DeserializeRejectsBadType) {
+  ByteWriter w;
+  w.put_u32(1);
+  w.put_u8(99);  // invalid AttrType
+  w.put_string("a");
+  ByteReader r(w.bytes());
+  EXPECT_THROW(Schema::deserialize(r), InvalidArgument);
+}
+
+TEST(Schema, ToString) {
+  EXPECT_EQ(oil_schema().to_string(), "x:f32,y:f32,z:f32,oilp:f32");
+}
+
+TEST(Schema, EqualityIsStructural) {
+  EXPECT_EQ(oil_schema(), oil_schema());
+  Schema other({{"x", AttrType::Float64}});
+  EXPECT_FALSE(oil_schema() == other);
+}
+
+}  // namespace
+}  // namespace orv

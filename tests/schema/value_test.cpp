@@ -1,0 +1,78 @@
+// Value: typed reads/writes, numeric widening, key-lane canonicalization
+// (the basis of cross-type equi-joins).
+
+#include "schema/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orv {
+namespace {
+
+TEST(Value, TypesAndWidening) {
+  EXPECT_EQ(Value(std::int32_t{5}).type(), AttrType::Int32);
+  EXPECT_EQ(Value(std::int64_t{5}).type(), AttrType::Int64);
+  EXPECT_EQ(Value(5.0f).type(), AttrType::Float32);
+  EXPECT_EQ(Value(5.0).type(), AttrType::Float64);
+  EXPECT_DOUBLE_EQ(Value(std::int32_t{-7}).as_double(), -7.0);
+  EXPECT_EQ(Value(3.9f).as_int64(), 3);
+}
+
+TEST(Value, ReadWriteRoundTripAllTypes) {
+  std::byte buf[8];
+  Value(std::int32_t{-123}).write(AttrType::Int32, buf);
+  EXPECT_EQ(Value::read(AttrType::Int32, buf).as_int64(), -123);
+
+  Value(std::int64_t{1} << 40).write(AttrType::Int64, buf);
+  EXPECT_EQ(Value::read(AttrType::Int64, buf).as_int64(), 1ll << 40);
+
+  Value(2.5f).write(AttrType::Float32, buf);
+  EXPECT_FLOAT_EQ(static_cast<float>(
+                      Value::read(AttrType::Float32, buf).as_double()),
+                  2.5f);
+
+  Value(-0.125).write(AttrType::Float64, buf);
+  EXPECT_DOUBLE_EQ(Value::read(AttrType::Float64, buf).as_double(), -0.125);
+}
+
+TEST(Value, WriteConvertsBetweenTypes) {
+  std::byte buf[8];
+  Value(7.0).write(AttrType::Int32, buf);  // f64 -> i32 storage
+  EXPECT_EQ(Value::read(AttrType::Int32, buf).as_int64(), 7);
+}
+
+TEST(Value, KeyLaneEqualForF32AndF64SameNumber) {
+  EXPECT_EQ(Value(0.5f).key_lane(), Value(0.5).key_lane());
+  EXPECT_EQ(Value(42.0f).key_lane(), Value(42.0).key_lane());
+}
+
+TEST(Value, KeyLaneNormalizesNegativeZero) {
+  EXPECT_EQ(Value(-0.0f).key_lane(), Value(0.0f).key_lane());
+  EXPECT_EQ(Value(-0.0).key_lane(), Value(0.0).key_lane());
+}
+
+TEST(Value, KeyLaneIntWidths) {
+  EXPECT_EQ(Value(std::int32_t{-1}).key_lane(),
+            Value(std::int64_t{-1}).key_lane());
+  EXPECT_NE(Value(std::int32_t{1}).key_lane(),
+            Value(std::int32_t{2}).key_lane());
+}
+
+TEST(Value, KeyLaneFromBytesMatchesValuePath) {
+  std::byte buf[8];
+  for (float f : {0.0f, -0.0f, 1.5f, -3.25f, 1e30f}) {
+    Value(f).write(AttrType::Float32, buf);
+    EXPECT_EQ(key_lane_from_bytes(AttrType::Float32, buf),
+              Value(f).key_lane());
+  }
+  Value(std::int64_t{-99}).write(AttrType::Int64, buf);
+  EXPECT_EQ(key_lane_from_bytes(AttrType::Int64, buf),
+            Value(std::int64_t{-99}).key_lane());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value(std::int32_t{42}).to_string(), "42");
+  EXPECT_EQ(Value(0.5f).to_string(), "0.5");
+}
+
+}  // namespace
+}  // namespace orv

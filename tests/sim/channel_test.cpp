@@ -1,0 +1,187 @@
+// Bounded channel: FIFO delivery, back-pressure, close semantics.
+
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/event.hpp"
+
+namespace orv::sim {
+namespace {
+
+Task<> produce(Engine& e, Channel<int>& ch, int n, double dt) {
+  for (int i = 0; i < n; ++i) {
+    if (dt > 0) co_await e.sleep(dt);
+    co_await ch.send(i);
+  }
+  ch.close();
+}
+
+Task<> consume(Engine& e, Channel<int>& ch, std::vector<int>& out, double dt) {
+  while (true) {
+    auto v = co_await ch.recv();
+    if (!v) break;
+    out.push_back(*v);
+    if (dt > 0) co_await e.sleep(dt);
+  }
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Engine e;
+  Channel<int> ch(e, 4);
+  std::vector<int> got;
+  e.spawn(produce(e, ch, 10, 0.0));
+  e.spawn(consume(e, ch, got, 0.0));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Channel, SlowConsumerBackPressuresProducer) {
+  Engine e;
+  Channel<int> ch(e, 1);
+  std::vector<int> got;
+  e.spawn(produce(e, ch, 5, 0.0), "producer");
+  e.spawn(consume(e, ch, got, 1.0), "consumer");
+  e.run();
+  EXPECT_EQ(got.size(), 5u);
+  // Consumer takes 1 s per item: total ~5 s, producer was throttled.
+  EXPECT_NEAR(e.now(), 5.0, 1e-9);
+}
+
+TEST(Channel, SlowProducerStallsConsumer) {
+  Engine e;
+  Channel<int> ch(e, 8);
+  std::vector<int> got;
+  e.spawn(produce(e, ch, 3, 2.0));
+  e.spawn(consume(e, ch, got, 0.0));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  EXPECT_NEAR(e.now(), 6.0, 1e-9);
+}
+
+TEST(Channel, CloseWakesBlockedReceiverWithNullopt) {
+  Engine e;
+  Channel<int> ch(e, 2);
+  bool got_nullopt = false;
+  auto rx = [](Channel<int>& c, bool& flag) -> Task<> {
+    auto v = co_await c.recv();
+    flag = !v.has_value();
+  };
+  e.spawn(rx(ch, got_nullopt));
+  auto closer = [](Engine& eng, Channel<int>& c) -> Task<> {
+    co_await eng.sleep(1.0);
+    c.close();
+  };
+  e.spawn(closer(e, ch));
+  e.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, DrainsBufferedItemsAfterClose) {
+  Engine e;
+  Channel<int> ch(e, 8);
+  std::vector<int> got;
+  auto tx = [](Channel<int>& c) -> Task<> {
+    co_await c.send(1);
+    co_await c.send(2);
+    c.close();
+  };
+  e.spawn(tx(ch));
+  e.spawn(consume(e, ch, got, 0.0));
+  e.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, SendOnClosedChannelThrows) {
+  Engine e;
+  Channel<int> ch(e, 2);
+  ch.close();
+  bool threw = false;
+  auto tx = [](Channel<int>& c, bool& flag) -> Task<> {
+    try {
+      co_await c.send(42);
+    } catch (const Error&) {
+      flag = true;
+    }
+  };
+  e.spawn(tx(ch, threw));
+  e.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Channel, CloseWhileSenderParkedThrowsInSender) {
+  Engine e;
+  Channel<int> ch(e, 1);
+  bool threw = false;
+  auto tx = [](Channel<int>& c, bool& flag) -> Task<> {
+    try {
+      co_await c.send(1);  // fills
+      co_await c.send(2);  // parks
+    } catch (const Error&) {
+      flag = true;
+    }
+  };
+  e.spawn(tx(ch, threw));
+  auto closer = [](Engine& eng, Channel<int>& c) -> Task<> {
+    co_await eng.sleep(1.0);
+    c.close();
+  };
+  e.spawn(closer(e, ch));
+  e.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Channel, RejectsZeroCapacity) {
+  Engine e;
+  EXPECT_THROW(Channel<int>(e, 0), InvalidArgument);
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Engine e;
+  Channel<int> ch(e, 4);
+  std::vector<int> got;
+  Latch done(e, 3);
+  auto tx = [](Channel<int>& c, int base, Latch& l) -> Task<> {
+    for (int i = 0; i < 10; ++i) co_await c.send(base + i);
+    l.count_down();
+  };
+  auto closer = [](Latch& l, Channel<int>& c) -> Task<> {
+    co_await l.wait();
+    c.close();
+  };
+  e.spawn(tx(ch, 100, done));
+  e.spawn(tx(ch, 200, done));
+  e.spawn(tx(ch, 300, done));
+  e.spawn(closer(done, ch));
+  e.spawn(consume(e, ch, got, 0.0));
+  e.run();
+  EXPECT_EQ(got.size(), 30u);
+  long sum = 0;
+  for (int v : got) sum += v;
+  EXPECT_EQ(sum, 3 * 45 + 10 * (100 + 200 + 300));
+}
+
+TEST(Channel, MovesNonCopyableValues) {
+  Engine e;
+  Channel<std::unique_ptr<int>> ch(e, 2);
+  int result = 0;
+  auto tx = [](Channel<std::unique_ptr<int>>& c) -> Task<> {
+    co_await c.send(std::make_unique<int>(7));
+    c.close();
+  };
+  auto rx = [](Channel<std::unique_ptr<int>>& c, int& r) -> Task<> {
+    auto v = co_await c.recv();
+    if (v && *v) r = **v;
+  };
+  e.spawn(tx(ch));
+  e.spawn(rx(ch, result));
+  e.run();
+  EXPECT_EQ(result, 7);
+}
+
+}  // namespace
+}  // namespace orv::sim

@@ -1,0 +1,151 @@
+// Interval and Rect (bounding box) semantics: overlap, union,
+// intersection, containment, degenerate boxes, serialization.
+
+#include "subtable/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+TEST(Interval, DefaultIsUnbounded) {
+  Interval i;
+  EXPECT_TRUE(i.contains(-1e300));
+  EXPECT_TRUE(i.contains(1e300));
+  EXPECT_FALSE(i.is_empty());
+}
+
+TEST(Interval, ContainsIsClosed) {
+  Interval i{1.0, 2.0};
+  EXPECT_TRUE(i.contains(1.0));
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_FALSE(i.contains(0.999));
+  EXPECT_FALSE(i.contains(2.001));
+}
+
+TEST(Interval, OverlapTouchingEdges) {
+  EXPECT_TRUE((Interval{0, 1}).overlaps(Interval{1, 2}));
+  EXPECT_FALSE((Interval{0, 1}).overlaps(Interval{1.1, 2}));
+}
+
+TEST(Interval, UniteAndIntersect) {
+  const Interval a{0, 2};
+  const Interval b{1, 5};
+  EXPECT_EQ(a.unite(b), (Interval{0, 5}));
+  EXPECT_EQ(a.intersect(b), (Interval{1, 2}));
+  EXPECT_TRUE((Interval{0, 1}).intersect(Interval{2, 3}).is_empty());
+}
+
+TEST(Rect, OverlapAllDimensionsRequired) {
+  Rect a(2);
+  a[0] = {0, 10};
+  a[1] = {0, 10};
+  Rect b(2);
+  b[0] = {5, 15};
+  b[1] = {5, 15};
+  EXPECT_TRUE(a.overlaps(b));
+  b[1] = {11, 15};  // disjoint in dim 1
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Rect, OverlapDimensionMismatchThrows) {
+  EXPECT_THROW(Rect(2).overlaps(Rect(3)), InvalidArgument);
+}
+
+TEST(Rect, UnboundedDimensionAlwaysOverlaps) {
+  Rect a(2);
+  a[0] = {0, 1};
+  // a[1] left unbounded
+  Rect b(2);
+  b[0] = {0.5, 2};
+  b[1] = {100, 200};
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(Rect, Contains) {
+  Rect outer(2);
+  outer[0] = {0, 10};
+  outer[1] = {0, 10};
+  Rect inner(2);
+  inner[0] = {2, 3};
+  inner[1] = {2, 3};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Rect, UniteIsPairBoundingBox) {
+  // The paper: the bounding box of a pair of sub-tables is the union of
+  // each sub-table's box.
+  Rect a(2);
+  a[0] = {0, 4};
+  a[1] = {0, 4};
+  Rect b(2);
+  b[0] = {8, 12};
+  b[1] = {2, 6};
+  const Rect u = a.unite(b);
+  EXPECT_EQ(u[0], (Interval{0, 12}));
+  EXPECT_EQ(u[1], (Interval{0, 6}));
+}
+
+TEST(Rect, EmptyDetection) {
+  Rect r(2);
+  r[0] = {1, -1};
+  EXPECT_TRUE(r.is_empty());
+  EXPECT_FALSE(Rect(2).is_empty());
+}
+
+TEST(Rect, Volume) {
+  Rect r(3);
+  r[0] = {0, 2};
+  r[1] = {0, 3};
+  r[2] = {0, 4};
+  EXPECT_DOUBLE_EQ(r.volume(), 24.0);
+  EXPECT_TRUE(std::isinf(Rect(3).volume()));
+}
+
+TEST(Rect, ExpandGrowsToCoverPoints) {
+  Rect r(1);
+  r[0] = {5, 5};
+  r.expand(0, 3);
+  r.expand(0, 9);
+  EXPECT_EQ(r[0], (Interval{3, 9}));
+}
+
+TEST(Rect, SerializationRoundTrip) {
+  Rect r(4);
+  r[0] = {0, 64};
+  r[1] = {0, 64};
+  r[2] = {0.2, 0.8};
+  r[3] = {0.3, 0.5};
+  ByteWriter w;
+  r.serialize(w);
+  ByteReader rd(w.bytes());
+  EXPECT_EQ(Rect::deserialize(rd), r);
+}
+
+TEST(Rect, SerializationPreservesInfinities) {
+  Rect r(2);
+  r[0] = {0, 1};
+  ByteWriter w;
+  r.serialize(w);
+  ByteReader rd(w.bytes());
+  const Rect back = Rect::deserialize(rd);
+  EXPECT_TRUE(std::isinf(back[1].lo));
+  EXPECT_TRUE(std::isinf(back[1].hi));
+}
+
+TEST(Rect, ToStringPaperExample) {
+  Rect r(4);
+  r[0] = {0, 64};
+  r[1] = {0, 64};
+  r[2] = {0.2, 0.8};
+  r[3] = {0.3, 0.5};
+  EXPECT_EQ(r.to_string(), "[(0, 0, 0.2, 0.3), (64, 64, 0.8, 0.5)]");
+}
+
+}  // namespace
+}  // namespace orv

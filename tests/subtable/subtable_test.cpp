@@ -1,0 +1,167 @@
+// SubTable: append paths, typed access, bounds computation, row
+// predicates, fingerprints, payload adoption.
+
+#include "subtable/subtable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace orv {
+namespace {
+
+SchemaPtr xyz_schema() {
+  return Schema::make({{"x", AttrType::Float32},
+                       {"y", AttrType::Float32},
+                       {"v", AttrType::Int32}});
+}
+
+SubTable sample(std::size_t n = 4) {
+  SubTable st(xyz_schema(), SubTableId{1, 7});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value vals[] = {Value(float(i)), Value(float(i * 2)),
+                          Value(static_cast<std::int32_t>(100 + i))};
+    st.append_values(vals);
+  }
+  return st;
+}
+
+TEST(SubTable, IdAndSchema) {
+  const SubTable st = sample();
+  EXPECT_EQ(st.id(), (SubTableId{1, 7}));
+  EXPECT_EQ(st.id().to_string(), "(1,7)");
+  EXPECT_EQ(st.record_size(), 12u);
+  EXPECT_EQ(st.num_rows(), 4u);
+  EXPECT_EQ(st.size_bytes(), 48u);
+}
+
+TEST(SubTable, TypedAccess) {
+  const SubTable st = sample();
+  EXPECT_FLOAT_EQ(st.get<float>(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(st.get<float>(2, 1), 4.0f);
+  EXPECT_EQ(st.get<std::int32_t>(2, 2), 102);
+  EXPECT_DOUBLE_EQ(st.as_double(3, 1), 6.0);
+  EXPECT_EQ(st.value(0, 2).as_int64(), 100);
+}
+
+TEST(SubTable, SetMutatesInPlace) {
+  SubTable st = sample();
+  st.set<std::int32_t>(1, 2, -5);
+  EXPECT_EQ(st.get<std::int32_t>(1, 2), -5);
+}
+
+TEST(SubTable, AppendRawRowMustMatchRecordSize) {
+  SubTable st(xyz_schema(), SubTableId{1, 0});
+  std::vector<std::byte> row(12);
+  st.append_row(row);
+  EXPECT_EQ(st.num_rows(), 1u);
+  std::vector<std::byte> bad(11);
+  EXPECT_THROW(st.append_row(bad), InvalidArgument);
+}
+
+TEST(SubTable, AppendValuesArityChecked) {
+  SubTable st(xyz_schema(), SubTableId{1, 0});
+  const Value two[] = {Value(1.0f), Value(2.0f)};
+  EXPECT_THROW(st.append_values(two), InvalidArgument);
+}
+
+TEST(SubTable, RowIndexOutOfRange) {
+  const SubTable st = sample(2);
+  EXPECT_THROW(st.row(2), InvalidArgument);
+}
+
+TEST(SubTable, AdoptBytes) {
+  SubTable st(xyz_schema(), SubTableId{1, 0});
+  std::vector<std::byte> payload(36);  // 3 rows
+  st.adopt_bytes(std::move(payload));
+  EXPECT_EQ(st.num_rows(), 3u);
+  std::vector<std::byte> ragged(35);
+  SubTable st2(xyz_schema(), SubTableId{1, 1});
+  EXPECT_THROW(st2.adopt_bytes(std::move(ragged)), InvalidArgument);
+}
+
+TEST(SubTable, ComputeBoundsTightensToData) {
+  SubTable st = sample(4);
+  st.compute_bounds();
+  EXPECT_EQ(st.bounds()[0], (Interval{0, 3}));
+  EXPECT_EQ(st.bounds()[1], (Interval{0, 6}));
+  EXPECT_EQ(st.bounds()[2], (Interval{100, 103}));
+}
+
+TEST(SubTable, EmptyBoundsOverlapNothing) {
+  SubTable st(xyz_schema(), SubTableId{1, 0});
+  st.compute_bounds();
+  Rect any(3);
+  any[0] = {-1e9, 1e9};
+  any[1] = {-1e9, 1e9};
+  any[2] = {-1e9, 1e9};
+  EXPECT_FALSE(st.bounds().overlaps(any));
+}
+
+TEST(SubTable, SetBoundsDimensionChecked) {
+  SubTable st = sample();
+  EXPECT_THROW(st.set_bounds(Rect(2)), InvalidArgument);
+}
+
+TEST(SubTable, RowInPredicate) {
+  const SubTable st = sample(4);
+  Rect pred = Rect::unbounded(3);
+  pred[0] = {1, 2};
+  EXPECT_FALSE(st.row_in(0, pred));
+  EXPECT_TRUE(st.row_in(1, pred));
+  EXPECT_TRUE(st.row_in(2, pred));
+  EXPECT_FALSE(st.row_in(3, pred));
+}
+
+TEST(SubTable, FingerprintOrderIndependent) {
+  SubTable a(xyz_schema(), SubTableId{1, 0});
+  SubTable b(xyz_schema(), SubTableId{1, 1});
+  const Value r1[] = {Value(1.0f), Value(2.0f), Value(3)};
+  const Value r2[] = {Value(4.0f), Value(5.0f), Value(6)};
+  const Value r3[] = {Value(7.0f), Value(8.0f), Value(9)};
+  a.append_values(r1);
+  a.append_values(r2);
+  a.append_values(r3);
+  b.append_values(r3);
+  b.append_values(r1);
+  b.append_values(r2);
+  EXPECT_EQ(a.unordered_fingerprint(), b.unordered_fingerprint());
+}
+
+TEST(SubTable, FingerprintDetectsDifferences) {
+  SubTable a = sample(4);
+  SubTable b = sample(4);
+  b.set<std::int32_t>(3, 2, 999);
+  EXPECT_NE(a.unordered_fingerprint(), b.unordered_fingerprint());
+  // Multiplicity matters: {r, r} != {r}.
+  SubTable c(xyz_schema(), SubTableId{1, 0});
+  SubTable d(xyz_schema(), SubTableId{1, 0});
+  const Value row[] = {Value(1.0f), Value(1.0f), Value(1)};
+  c.append_values(row);
+  d.append_values(row);
+  d.append_values(row);
+  EXPECT_NE(c.unordered_fingerprint(), d.unordered_fingerprint());
+}
+
+TEST(SubTable, EmptyFingerprintIsZero) {
+  SubTable st(xyz_schema(), SubTableId{1, 0});
+  EXPECT_EQ(st.unordered_fingerprint(), 0u);
+}
+
+TEST(SubTableId, Ordering) {
+  EXPECT_LT((SubTableId{1, 5}), (SubTableId{2, 0}));
+  EXPECT_LT((SubTableId{1, 5}), (SubTableId{1, 6}));
+  EXPECT_EQ((SubTableId{3, 3}), (SubTableId{3, 3}));
+}
+
+TEST(SubTable, ToStringTruncates) {
+  const SubTable st = sample(4);
+  const std::string s = st.to_string(2);
+  EXPECT_NE(s.find("rows=4"), std::string::npos);
+  EXPECT_NE(s.find("2 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orv
