@@ -2,8 +2,20 @@
 // probe costs (real wall-clock). This is how alpha_build / alpha_lookup
 // (Table 1) would be calibrated on a target machine: gamma = ops/tuple =
 // measured ns/tuple * F.
+//
+// Besides the google-benchmark suites, main() always runs a scalar-vs-tuned
+// probe sweep across build sizes spanning the L2/L3 boundary and writes the
+// results as machine-readable JSON (default BENCH_join_kernel.json, or the
+// path given by --sweep_json=...), so successive PRs can track the kernel's
+// throughput trajectory.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/prng.hpp"
 #include "join/hash_join.hpp"
@@ -21,13 +33,17 @@ SchemaPtr wide_schema(std::size_t attrs) {
 }
 
 std::shared_ptr<SubTable> make_rows(SchemaPtr schema, std::size_t n,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed,
+                                    std::uint64_t key_space = 0) {
   auto st = std::make_shared<SubTable>(schema, SubTableId{1, 0});
   Xoshiro256StarStar rng(seed);
   std::vector<Value> vals;
   for (std::size_t r = 0; r < n; ++r) {
     vals.clear();
-    vals.push_back(Value(static_cast<std::int64_t>(r)));
+    const std::int64_t k = key_space
+                               ? static_cast<std::int64_t>(rng.below(key_space))
+                               : static_cast<std::int64_t>(r);
+    vals.push_back(Value(k));
     for (std::size_t i = 1; i < schema->num_attrs(); ++i) {
       vals.push_back(Value(static_cast<float>(rng.uniform01())));
     }
@@ -36,20 +52,44 @@ std::shared_ptr<SubTable> make_rows(SchemaPtr schema, std::size_t n,
   return st;
 }
 
+JoinKernelOptions kernel_options(int variant) {
+  switch (variant) {
+    case 0:
+      return JoinKernelOptions::scalar();
+    case 1: {
+      JoinKernelOptions o;  // batched + prefetch, no radix
+      o.radix_build = false;
+      return o;
+    }
+    default:
+      return JoinKernelOptions{};  // tuned: batched + radix
+  }
+}
+
+const char* kVariantNames[] = {"scalar", "batched", "tuned"};
+
 void BM_HashTableBuild(benchmark::State& state) {
   const auto rows = make_rows(wide_schema(4), state.range(0), 1);
+  const JoinKernelOptions opt = kernel_options(static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    BuiltHashTable ht(rows, {"k"});
+    BuiltHashTable ht(rows, {"k"}, opt);
     benchmark::DoNotOptimize(ht.table_bytes());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(kVariantNames[state.range(1)]);
 }
-BENCHMARK(BM_HashTableBuild)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_HashTableBuild)
+    ->Args({1 << 10, 2})
+    ->Args({1 << 14, 2})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 2});
 
 void BM_HashTableProbe(benchmark::State& state) {
   const auto left = make_rows(wide_schema(4), state.range(0), 1);
   const auto right = make_rows(wide_schema(4), state.range(0), 2);
-  BuiltHashTable ht(left, {"k"});
+  BuiltHashTable ht(left, {"k"}, kernel_options(static_cast<int>(state.range(1))));
   const JoinKey rkey = JoinKey::resolve(right->schema(), {"k"});
   auto result_schema = std::make_shared<const Schema>(Schema::join_result(
       left->schema(), right->schema(), rkey.attr_indices()));
@@ -58,8 +98,19 @@ void BM_HashTableProbe(benchmark::State& state) {
     benchmark::DoNotOptimize(ht.probe(*right, {"k"}, out));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(kVariantNames[state.range(1)]);
 }
-BENCHMARK(BM_HashTableProbe)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_HashTableProbe)
+    ->Args({1 << 10, 0})
+    ->Args({1 << 10, 2})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 2})
+    ->Args({1 << 17, 0})
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2});
 
 // The paper's record-size-independence claim: build cost per tuple should
 // be flat across record widths (pointer-valued hash table).
@@ -84,6 +135,86 @@ void BM_EndToEndHashJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndHashJoin)->Arg(1 << 12)->Arg(1 << 16);
 
+// --- Scalar vs tuned sweep, emitted as JSON -------------------------------
+
+double probe_ns_per_tuple(const BuiltHashTable& ht, const SubTable& right,
+                          const SchemaPtr& result_schema) {
+  using clock = std::chrono::steady_clock;
+  double best = 0;
+  std::size_t iters = 0;
+  const auto deadline = clock::now() + std::chrono::milliseconds(300);
+  do {
+    SubTable out(result_schema, SubTableId{9, 0});
+    const auto t0 = clock::now();
+    auto stats = ht.probe(right, {"k"}, out);
+    const auto t1 = clock::now();
+    benchmark::DoNotOptimize(stats.result_tuples);
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(right.num_rows());
+    if (best == 0 || ns < best) best = ns;
+    ++iters;
+  } while (clock::now() < deadline || iters < 3);
+  return best;
+}
+
+void run_sweep(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  const JoinKernelOptions tuned;
+  std::fprintf(f, "{\n  \"bench\": \"join_kernel_probe_sweep\",\n");
+  std::fprintf(f, "  \"record_bytes\": %zu,\n", wide_schema(4)->record_size());
+  std::fprintf(f, "  \"l2_bytes\": %zu,\n  \"points\": [\n", tuned.l2_bytes);
+  bool first = true;
+  for (int lg = 14; lg <= 20; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto left = make_rows(wide_schema(4), n, 1);
+    const auto right = make_rows(wide_schema(4), n, 2, n);
+    auto result_schema = std::make_shared<const Schema>(Schema::join_result(
+        left->schema(), right->schema(),
+        JoinKey::resolve(right->schema(), {"k"}).attr_indices()));
+    const BuiltHashTable scalar(left, {"k"}, JoinKernelOptions::scalar());
+    const BuiltHashTable fast(left, {"k"}, tuned);
+    const double s_ns = probe_ns_per_tuple(scalar, *right, result_schema);
+    const double f_ns = probe_ns_per_tuple(fast, *right, result_schema);
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    std::fprintf(f,
+                 "    {\"build_rows\": %zu, \"table_bytes\": %zu, "
+                 "\"partitions\": %zu, \"scalar_ns_per_tuple\": %.2f, "
+                 "\"tuned_ns_per_tuple\": %.2f, \"speedup\": %.2f}",
+                 n, fast.table_bytes(), fast.num_partitions(), s_ns, f_ns,
+                 s_ns / f_ns);
+    std::fprintf(stderr,
+                 "sweep rows=%zu table=%zuKiB parts=%zu scalar=%.1fns "
+                 "tuned=%.1fns speedup=%.2fx\n",
+                 n, fast.table_bytes() >> 10, fast.num_partitions(), s_ns,
+                 f_ns, s_ns / f_ns);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string sweep_path = "BENCH_join_kernel.json";
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sweep_json=", 13) == 0) {
+      sweep_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--sweep_only") == 0) {
+      sweep_only = true;
+    }
+  }
+  run_sweep(sweep_path);
+  if (sweep_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

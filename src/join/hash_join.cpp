@@ -1,9 +1,17 @@
 #include "join/hash_join.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ORV_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define ORV_PREFETCH(addr) ((void)0)
+#endif
 
 namespace orv {
 
@@ -18,30 +26,80 @@ std::uint64_t table_capacity_for(std::size_t rows) {
 
 constexpr std::size_t kMaxKeyArity = 8;
 
+/// One probe hit: probe-row position within the current chunk plus the
+/// matching left row. Kept small so the match buffer stays cache-resident.
+struct Match {
+  std::uint32_t pos;
+  std::uint32_t lrow;
+};
+
 }  // namespace
 
 BuiltHashTable::BuiltHashTable(std::shared_ptr<const SubTable> left,
-                               const std::vector<std::string>& key_attrs)
+                               const std::vector<std::string>& key_attrs,
+                               const JoinKernelOptions& options)
     : left_(std::move(left)),
-      key_(JoinKey::resolve(left_->schema(), key_attrs)) {
+      key_(JoinKey::resolve(left_->schema(), key_attrs)),
+      options_(options) {
   ORV_REQUIRE(key_.arity() <= kMaxKeyArity, "join key arity too large");
   ORV_REQUIRE(left_->num_rows() < kEmpty, "left sub-table too large");
-  const std::uint64_t cap = table_capacity_for(left_->num_rows());
-  slots_.assign(cap, Slot{});
-  mask_ = cap - 1;
+  const std::size_t n = left_->num_rows();
   const std::size_t rs = left_->record_size();
   const std::byte* rows = left_->bytes().data();
-  for (std::size_t r = 0; r < left_->num_rows(); ++r) {
-    insert(key_.hash_row(rows + r * rs, kSaltInMemory),
+
+  // Hash every left row once; the same hashes drive partition choice and
+  // slot insertion.
+  std::vector<std::uint64_t> hashes(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    hashes[r] = key_.hash_row(rows + r * rs, kSaltInMemory);
+  }
+
+  // Partition count: one partition while the table structure fits L2;
+  // otherwise enough power-of-two partitions that each partition's tag +
+  // slot arrays fit in about half of it.
+  std::size_t nparts = 1;
+  if (options_.radix_build && options_.l2_bytes > 0) {
+    const std::size_t struct_bytes =
+        table_capacity_for(n) * (sizeof(Slot) + sizeof(std::uint8_t));
+    if (struct_bytes > options_.l2_bytes) {
+      nparts = std::bit_ceil(2 * struct_bytes / options_.l2_bytes);
+      const std::size_t cap =
+          std::bit_floor(std::max<std::size_t>(1, options_.max_partitions));
+      nparts = std::min(nparts, cap);
+    }
+  }
+
+  // Size each partition for its actual row count (radix splits are never
+  // perfectly even), then lay partitions out back to back.
+  std::vector<std::size_t> counts(nparts, 0);
+  if (nparts > 1) {
+    for (std::uint64_t h : hashes) ++counts[(h >> 40) & (nparts - 1)];
+  } else {
+    counts[0] = n;
+  }
+  parts_.resize(nparts);
+  std::uint64_t offset = 0;
+  for (std::size_t p = 0; p < nparts; ++p) {
+    const std::uint64_t cap = table_capacity_for(counts[p]);
+    parts_[p] = Partition{offset, cap - 1};
+    offset += cap;
+  }
+  slots_.assign(offset, Slot{});
+  tags_.assign(offset, kEmptyTag);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    insert(parts_[partition_of(hashes[r])], hashes[r],
            static_cast<std::uint32_t>(r));
   }
 }
 
-void BuiltHashTable::insert(std::uint64_t hash, std::uint32_t row) {
-  std::uint64_t i = hash & mask_;
-  while (slots_[i].row != kEmpty) i = (i + 1) & mask_;
-  slots_[i].hash = hash;
-  slots_[i].row = row;
+void BuiltHashTable::insert(const Partition& part, std::uint64_t hash,
+                            std::uint32_t row) {
+  std::uint64_t i = hash & part.mask;
+  while (slots_[part.offset + i].row != kEmpty) i = (i + 1) & part.mask;
+  slots_[part.offset + i].hash = hash;
+  slots_[part.offset + i].row = row;
+  tags_[part.offset + i] = tag_of(hash);
 }
 
 template <typename Fn>
@@ -51,14 +109,15 @@ void BuiltHashTable::for_each_match(std::uint64_t hash,
   const std::size_t rs = left_->record_size();
   const std::byte* rows = left_->bytes().data();
   std::uint64_t left_lanes[kMaxKeyArity];
-  std::uint64_t i = hash & mask_;
-  while (slots_[i].row != kEmpty) {
-    if (slots_[i].hash == hash) {
-      const std::byte* lrow = rows + slots_[i].row * rs;
+  const Partition& part = parts_[partition_of(hash)];
+  std::uint64_t i = hash & part.mask;
+  while (slots_[part.offset + i].row != kEmpty) {
+    if (slots_[part.offset + i].hash == hash) {
+      const std::byte* lrow = rows + slots_[part.offset + i].row * rs;
       key_.extract_lanes(lrow, left_lanes);
-      if (key_.lanes_equal(left_lanes, lanes)) fn(slots_[i].row);
+      if (key_.lanes_equal(left_lanes, lanes)) fn(slots_[part.offset + i].row);
     }
-    i = (i + 1) & mask_;
+    i = (i + 1) & part.mask;
   }
 }
 
@@ -107,6 +166,19 @@ JoinStats BuiltHashTable::probe_range(
   ORV_REQUIRE(right_key.compatible_with(key_), "join key arity mismatch");
   ORV_REQUIRE(row_begin <= row_end && row_end <= right.num_rows(),
               "probe row range out of bounds");
+  if (options_.batched_probe) {
+    return probe_range_batched(right, right_key, row_begin, row_end, out);
+  }
+  return probe_range_scalar(right, right_key, row_begin, row_end, out);
+}
+
+/// Legacy kernel: per-row probe with full-hash slot compares and a staging
+/// row buffer. Kept verbatim for A/B comparison (JoinKernelOptions::scalar).
+JoinStats BuiltHashTable::probe_range_scalar(const SubTable& right,
+                                             const JoinKey& right_key,
+                                             std::size_t row_begin,
+                                             std::size_t row_end,
+                                             SubTable& out) const {
   const RightCopyPlan plan =
       RightCopyPlan::make(left_->schema(), right.schema(), right_key);
   ORV_REQUIRE(out.record_size() == plan.result_record_size,
@@ -136,6 +208,155 @@ JoinStats BuiltHashTable::probe_range(
       ++stats.result_tuples;
     });
   }
+  return stats;
+}
+
+/// Cache-conscious kernel: per chunk, (1) canonicalize and hash all probe
+/// rows, (2) in radix mode regroup the chunk by partition so one
+/// partition's structure stays hot, (3) probe with a rolling software
+/// prefetch `probe_batch` rows ahead, tag byte checked before any Slot
+/// load, (4) restore probe-row order, (5) write joined records directly
+/// into the output buffer. Output row order matches the scalar path:
+/// probe-row order, per-row matches in ascending left-row order (linear
+/// probing visits equal-key slots in insertion order).
+JoinStats BuiltHashTable::probe_range_batched(const SubTable& right,
+                                              const JoinKey& right_key,
+                                              std::size_t row_begin,
+                                              std::size_t row_end,
+                                              SubTable& out) const {
+  const RightCopyPlan plan =
+      RightCopyPlan::make(left_->schema(), right.schema(), right_key);
+  ORV_REQUIRE(out.record_size() == plan.result_record_size,
+              "output schema does not match the join result layout");
+
+  JoinStats stats;
+  stats.probe_tuples = row_end - row_begin;
+
+  const std::size_t lrs = left_->record_size();
+  const std::size_t rrs = right.record_size();
+  const std::byte* lrows = left_->bytes().data();
+  const std::byte* rrows = right.bytes().data();
+  const std::size_t arity = key_.arity();
+  const std::size_t chunk_rows = std::max<std::size_t>(options_.probe_chunk, 1);
+  const std::size_t batch =
+      std::clamp<std::size_t>(options_.probe_batch, 1, 64);
+  const bool radix = parts_.size() > 1;
+
+  std::vector<std::uint64_t> hashes(chunk_rows);
+  std::vector<std::uint64_t> lanes_buf(chunk_rows * arity);
+  std::vector<std::uint32_t> order;       // partition-grouped probe order
+  std::vector<std::uint32_t> bucket_pos;  // per-partition cursors
+  std::vector<Match> matches;
+  std::vector<Match> sorted;
+  std::vector<std::uint32_t> emit_pos;  // per-probe-row cursors for restore
+  matches.reserve(chunk_rows);
+
+  for (std::size_t cb = row_begin; cb < row_end; cb += chunk_rows) {
+    const std::size_t cn = std::min(chunk_rows, row_end - cb);
+
+    // (1) Canonicalize the key lanes once per probe row; hash from lanes
+    // (hash_lanes == JoinKey::hash_row on the canonical lanes).
+    for (std::size_t j = 0; j < cn; ++j) {
+      std::uint64_t* l = lanes_buf.data() + j * arity;
+      right_key.extract_lanes(rrows + (cb + j) * rrs, l);
+      hashes[j] = hash_lanes({l, arity}, kSaltInMemory);
+    }
+
+    // (2) Counting-sort chunk positions by partition so probes of one
+    // partition cluster in time and its tags/slots stay L2-resident.
+    const std::uint32_t* ord = nullptr;
+    if (radix) {
+      bucket_pos.assign(parts_.size() + 1, 0);
+      for (std::size_t j = 0; j < cn; ++j) {
+        ++bucket_pos[partition_of(hashes[j]) + 1];
+      }
+      for (std::size_t p = 1; p <= parts_.size(); ++p) {
+        bucket_pos[p] += bucket_pos[p - 1];
+      }
+      order.resize(cn);
+      for (std::size_t j = 0; j < cn; ++j) {
+        order[bucket_pos[partition_of(hashes[j])]++] =
+            static_cast<std::uint32_t>(j);
+      }
+      ord = order.data();
+    }
+
+    // (3) Probe with a rolling prefetch `batch` rows ahead of the cursor.
+    // Hash hits become *candidates* — the left row is only prefetched here,
+    // and the full key compare is deferred to the emit pass, so the
+    // dependent left-payload load never stalls the probe loop. Equal full
+    // hashes are almost always true matches, so candidate order is match
+    // order.
+    matches.clear();
+    for (std::size_t j = 0; j < cn; ++j) {
+      if (j + batch < cn) {
+        const std::size_t nj = ord ? ord[j + batch] : j + batch;
+        const Partition& np = parts_[partition_of(hashes[nj])];
+        const std::uint64_t nidx = np.offset + (hashes[nj] & np.mask);
+        ORV_PREFETCH(&tags_[nidx]);
+        ORV_PREFETCH(&slots_[nidx]);
+      }
+      const std::size_t pj = ord ? ord[j] : j;
+      const std::uint64_t h = hashes[pj];
+      const std::uint8_t want = tag_of(h);
+      const Partition& part = parts_[partition_of(h)];
+      std::uint64_t i = h & part.mask;
+      for (;;) {
+        const std::uint8_t t = tags_[part.offset + i];
+        if (t == kEmptyTag) break;
+        if (t == want) {
+          const Slot& s = slots_[part.offset + i];
+          if (s.hash == h) {
+            ORV_PREFETCH(lrows + s.row * lrs);
+            matches.push_back({static_cast<std::uint32_t>(pj), s.row});
+          }
+        }
+        i = (i + 1) & part.mask;
+      }
+    }
+
+    // (4) Partition grouping permuted probe order; restore it with a
+    // stable counting sort on the chunk position (all matches of one probe
+    // row are already consecutive and in chain order).
+    const Match* emit = matches.data();
+    if (radix && !matches.empty()) {
+      emit_pos.assign(cn + 1, 0);
+      for (const Match& m : matches) ++emit_pos[m.pos + 1];
+      for (std::size_t j = 1; j <= cn; ++j) emit_pos[j] += emit_pos[j - 1];
+      sorted.resize(matches.size());
+      for (const Match& m : matches) sorted[emit_pos[m.pos]++] = m;
+      emit = sorted.data();
+    }
+
+    // (5) Verify candidates (drop full-hash collisions) and zero-copy
+    // emit: left prefix then the right copy-plan pieces, written straight
+    // into the reserved output rows.
+    const std::size_t n_cand = matches.size();
+    if (n_cand != 0) {
+      std::uint64_t left_lanes[kMaxKeyArity];
+      std::byte* dst = out.append_rows_reserve(n_cand);
+      std::size_t emitted = 0;
+      for (std::size_t m = 0; m < n_cand; ++m) {
+        const std::byte* lrow = lrows + emit[m].lrow * lrs;
+        key_.extract_lanes(lrow, left_lanes);
+        if (!key_.lanes_equal(left_lanes,
+                              lanes_buf.data() + emit[m].pos * arity)) {
+          continue;
+        }
+        const std::byte* rrow = rrows + (cb + emit[m].pos) * rrs;
+        std::memcpy(dst, lrow, lrs);
+        for (const auto& piece : plan.pieces) {
+          std::memcpy(dst + piece.dst_offset, rrow + piece.src_offset,
+                      piece.size);
+        }
+        dst += plan.result_record_size;
+        ++emitted;
+      }
+      out.append_rows_commit(emitted);
+      stats.result_tuples += emitted;
+    }
+  }
+  out.append_rows_trim();
   return stats;
 }
 
@@ -177,14 +398,19 @@ SubTable nested_loop_join(const SubTable& left, const SubTable& right,
   const RightCopyPlan plan =
       RightCopyPlan::make(left.schema(), right.schema(), rkey);
   SubTable out(result_schema, result_id);
-  std::uint64_t ll[kMaxKeyArity];
+  // Canonicalize every left key once (O(n)) instead of re-extracting the
+  // lanes inside the O(n*m) inner loop.
+  const std::size_t arity = lkey.arity();
+  std::vector<std::uint64_t> left_lanes(left.num_rows() * arity);
+  for (std::size_t l = 0; l < left.num_rows(); ++l) {
+    lkey.extract_lanes(left.row(l), left_lanes.data() + l * arity);
+  }
   std::uint64_t rl[kMaxKeyArity];
   std::vector<std::byte> row_buf(plan.result_record_size);
   for (std::size_t r = 0; r < right.num_rows(); ++r) {
     rkey.extract_lanes(right.row(r), rl);
     for (std::size_t l = 0; l < left.num_rows(); ++l) {
-      lkey.extract_lanes(left.row(l), ll);
-      if (!lkey.lanes_equal(ll, rl)) continue;
+      if (!lkey.lanes_equal(left_lanes.data() + l * arity, rl)) continue;
       std::memcpy(row_buf.data(), left.row(l), left.record_size());
       for (const auto& piece : plan.pieces) {
         std::memcpy(row_buf.data() + piece.dst_offset,

@@ -21,6 +21,21 @@ void SubTable::append_row(std::span<const std::byte> record) {
   ++num_rows_;
 }
 
+std::byte* SubTable::append_rows_reserve(std::size_t n) {
+  const std::size_t committed = num_rows_ * record_size();
+  const std::size_t need = committed + n * record_size();
+  if (data_.size() < need) data_.resize(need);
+  return data_.data() + committed;
+}
+
+void SubTable::append_rows_commit(std::size_t n) {
+  num_rows_ += n;
+  ORV_REQUIRE(num_rows_ * record_size() <= data_.size(),
+              "append_rows_commit beyond the reserved window");
+}
+
+void SubTable::append_rows_trim() { data_.resize(num_rows_ * record_size()); }
+
 void SubTable::append_values(std::span<const Value> values) {
   ORV_REQUIRE(values.size() == schema_->num_attrs(),
               "append_values arity mismatch");

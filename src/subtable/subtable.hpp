@@ -59,6 +59,22 @@ class SubTable {
   /// Appends one packed record (must be exactly record_size() bytes).
   void append_row(std::span<const std::byte> record);
 
+  /// Zero-copy append window: grows the byte buffer to hold `n` rows past
+  /// the committed ones and returns the write cursor at the first
+  /// uncommitted row. Rows written there become visible only after
+  /// append_rows_commit. Any append/row access between reserve and commit
+  /// other than writing through the cursor is undefined; finish a raw
+  /// append sequence with append_rows_trim before using bytes()/append_row.
+  std::byte* append_rows_reserve(std::size_t n);
+
+  /// Publishes `n` rows written through the last append_rows_reserve
+  /// cursor (n may be less than reserved).
+  void append_rows_commit(std::size_t n);
+
+  /// Shrinks the byte buffer back to the committed rows, restoring the
+  /// size_bytes() == num_rows() * record_size() invariant.
+  void append_rows_trim();
+
   /// Appends a record from typed values (one per schema attribute, in order).
   void append_values(std::span<const Value> values);
 

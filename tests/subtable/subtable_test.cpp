@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -148,6 +149,41 @@ TEST(SubTable, FingerprintDetectsDifferences) {
 TEST(SubTable, EmptyFingerprintIsZero) {
   SubTable st(xyz_schema(), SubTableId{1, 0});
   EXPECT_EQ(st.unordered_fingerprint(), 0u);
+}
+
+TEST(SubTable, AppendRowsReserveCommit) {
+  SubTable st = sample(2);
+  const std::size_t rs = st.record_size();
+  // Reserve three rows, write two, commit two, trim the third.
+  std::byte* dst = st.append_rows_reserve(3);
+  std::memcpy(dst, st.row(0), rs);
+  std::memcpy(dst + rs, st.row(1), rs);
+  st.append_rows_commit(2);
+  st.append_rows_trim();
+  EXPECT_EQ(st.num_rows(), 4u);
+  EXPECT_EQ(st.size_bytes(), 4 * rs);
+  EXPECT_EQ(std::memcmp(st.row(2), st.row(0), rs), 0);
+  EXPECT_EQ(std::memcmp(st.row(3), st.row(1), rs), 0);
+  // The invariant is restored: plain append_row still works after a window.
+  std::vector<std::byte> rec(st.row(0), st.row(0) + rs);
+  st.append_row(rec);
+  EXPECT_EQ(st.num_rows(), 5u);
+}
+
+TEST(SubTable, AppendRowsCommitBeyondReserveThrows) {
+  SubTable st = sample(1);
+  st.append_rows_reserve(1);
+  EXPECT_THROW(st.append_rows_commit(2), Error);
+}
+
+TEST(SubTable, ReserveZeroRowsIsANoop) {
+  SubTable st = sample(2);
+  const std::size_t before = st.size_bytes();
+  st.append_rows_reserve(0);
+  st.append_rows_commit(0);
+  st.append_rows_trim();
+  EXPECT_EQ(st.size_bytes(), before);
+  EXPECT_EQ(st.num_rows(), 2u);
 }
 
 TEST(SubTableId, Ordering) {
