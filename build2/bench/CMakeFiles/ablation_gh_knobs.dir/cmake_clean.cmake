@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gh_knobs.dir/ablation_gh_knobs.cpp.o"
+  "CMakeFiles/ablation_gh_knobs.dir/ablation_gh_knobs.cpp.o.d"
+  "ablation_gh_knobs"
+  "ablation_gh_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gh_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hardware_trend.dir/ablation_hardware_trend.cpp.o"
+  "CMakeFiles/ablation_hardware_trend.dir/ablation_hardware_trend.cpp.o.d"
+  "ablation_hardware_trend"
+  "ablation_hardware_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hardware_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

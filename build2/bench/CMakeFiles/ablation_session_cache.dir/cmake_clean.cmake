@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_session_cache.dir/ablation_session_cache.cpp.o"
+  "CMakeFiles/ablation_session_cache.dir/ablation_session_cache.cpp.o.d"
+  "ablation_session_cache"
+  "ablation_session_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_session_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

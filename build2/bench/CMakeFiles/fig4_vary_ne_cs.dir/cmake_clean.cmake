@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_vary_ne_cs.dir/fig4_vary_ne_cs.cpp.o"
+  "CMakeFiles/fig4_vary_ne_cs.dir/fig4_vary_ne_cs.cpp.o.d"
+  "fig4_vary_ne_cs"
+  "fig4_vary_ne_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_vary_ne_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

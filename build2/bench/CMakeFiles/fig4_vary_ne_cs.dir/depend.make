@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_vary_ne_cs.
+# This may be replaced when dependencies are built.

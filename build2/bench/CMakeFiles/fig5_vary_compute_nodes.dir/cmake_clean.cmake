@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vary_compute_nodes.dir/fig5_vary_compute_nodes.cpp.o"
+  "CMakeFiles/fig5_vary_compute_nodes.dir/fig5_vary_compute_nodes.cpp.o.d"
+  "fig5_vary_compute_nodes"
+  "fig5_vary_compute_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vary_compute_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vary_tuples.dir/fig6_vary_tuples.cpp.o"
+  "CMakeFiles/fig6_vary_tuples.dir/fig6_vary_tuples.cpp.o.d"
+  "fig6_vary_tuples"
+  "fig6_vary_tuples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vary_tuples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vary_attributes.dir/fig7_vary_attributes.cpp.o"
+  "CMakeFiles/fig7_vary_attributes.dir/fig7_vary_attributes.cpp.o.d"
+  "fig7_vary_attributes"
+  "fig7_vary_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vary_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_vary_attributes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_compute_power.dir/fig8_compute_power.cpp.o"
+  "CMakeFiles/fig8_compute_power.dir/fig8_compute_power.cpp.o.d"
+  "fig8_compute_power"
+  "fig8_compute_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_compute_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shared_fs.dir/fig9_shared_fs.cpp.o"
+  "CMakeFiles/fig9_shared_fs.dir/fig9_shared_fs.cpp.o.d"
+  "fig9_shared_fs"
+  "fig9_shared_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shared_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_shared_fs.
+# This may be replaced when dependencies are built.

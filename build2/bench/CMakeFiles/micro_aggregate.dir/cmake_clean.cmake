@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aggregate.dir/micro_aggregate.cpp.o"
+  "CMakeFiles/micro_aggregate.dir/micro_aggregate.cpp.o.d"
+  "micro_aggregate"
+  "micro_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_extract.dir/micro_extract.cpp.o"
+  "CMakeFiles/micro_extract.dir/micro_extract.cpp.o.d"
+  "micro_extract"
+  "micro_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

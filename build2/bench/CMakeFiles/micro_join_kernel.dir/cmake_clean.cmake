@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_join_kernel.dir/micro_join_kernel.cpp.o"
+  "CMakeFiles/micro_join_kernel.dir/micro_join_kernel.cpp.o.d"
+  "micro_join_kernel"
+  "micro_join_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_join_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

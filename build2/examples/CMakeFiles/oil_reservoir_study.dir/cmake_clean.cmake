@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oil_reservoir_study.dir/oil_reservoir_study.cpp.o"
+  "CMakeFiles/oil_reservoir_study.dir/oil_reservoir_study.cpp.o.d"
+  "oil_reservoir_study"
+  "oil_reservoir_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oil_reservoir_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

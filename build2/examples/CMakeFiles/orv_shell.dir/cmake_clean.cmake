@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orv_shell.dir/orv_shell.cpp.o"
+  "CMakeFiles/orv_shell.dir/orv_shell.cpp.o.d"
+  "orv_shell"
+  "orv_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orv_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

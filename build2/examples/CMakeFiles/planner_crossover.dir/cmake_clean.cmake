@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_crossover.dir/planner_crossover.cpp.o"
+  "CMakeFiles/planner_crossover.dir/planner_crossover.cpp.o.d"
+  "planner_crossover"
+  "planner_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_mosaic.dir/satellite_mosaic.cpp.o"
+  "CMakeFiles/satellite_mosaic.dir/satellite_mosaic.cpp.o.d"
+  "satellite_mosaic"
+  "satellite_mosaic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_mosaic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for satellite_mosaic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bds/bds.cpp" "src/CMakeFiles/orv.dir/bds/bds.cpp.o" "gcc" "src/CMakeFiles/orv.dir/bds/bds.cpp.o.d"
+  "/root/repo/src/cache/caching_service.cpp" "src/CMakeFiles/orv.dir/cache/caching_service.cpp.o" "gcc" "src/CMakeFiles/orv.dir/cache/caching_service.cpp.o.d"
+  "/root/repo/src/chunkio/chunk_format.cpp" "src/CMakeFiles/orv.dir/chunkio/chunk_format.cpp.o" "gcc" "src/CMakeFiles/orv.dir/chunkio/chunk_format.cpp.o.d"
+  "/root/repo/src/chunkio/chunk_store.cpp" "src/CMakeFiles/orv.dir/chunkio/chunk_store.cpp.o" "gcc" "src/CMakeFiles/orv.dir/chunkio/chunk_store.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/orv.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/orv.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/hardware.cpp" "src/CMakeFiles/orv.dir/cluster/hardware.cpp.o" "gcc" "src/CMakeFiles/orv.dir/cluster/hardware.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/orv.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/orv.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/orv.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/orv.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/CMakeFiles/orv.dir/common/prng.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/prng.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/orv.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/tempdir.cpp" "src/CMakeFiles/orv.dir/common/tempdir.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/tempdir.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/orv.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/orv.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/catalog_io.cpp" "src/CMakeFiles/orv.dir/core/catalog_io.cpp.o" "gcc" "src/CMakeFiles/orv.dir/core/catalog_io.cpp.o.d"
+  "/root/repo/src/core/view_framework.cpp" "src/CMakeFiles/orv.dir/core/view_framework.cpp.o" "gcc" "src/CMakeFiles/orv.dir/core/view_framework.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/orv.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/orv.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/datagen/dataset_spec.cpp" "src/CMakeFiles/orv.dir/datagen/dataset_spec.cpp.o" "gcc" "src/CMakeFiles/orv.dir/datagen/dataset_spec.cpp.o.d"
+  "/root/repo/src/datagen/generator.cpp" "src/CMakeFiles/orv.dir/datagen/generator.cpp.o" "gcc" "src/CMakeFiles/orv.dir/datagen/generator.cpp.o.d"
+  "/root/repo/src/dds/aggregate.cpp" "src/CMakeFiles/orv.dir/dds/aggregate.cpp.o" "gcc" "src/CMakeFiles/orv.dir/dds/aggregate.cpp.o.d"
+  "/root/repo/src/dds/distributed.cpp" "src/CMakeFiles/orv.dir/dds/distributed.cpp.o" "gcc" "src/CMakeFiles/orv.dir/dds/distributed.cpp.o.d"
+  "/root/repo/src/dds/local_executor.cpp" "src/CMakeFiles/orv.dir/dds/local_executor.cpp.o" "gcc" "src/CMakeFiles/orv.dir/dds/local_executor.cpp.o.d"
+  "/root/repo/src/dds/view_def.cpp" "src/CMakeFiles/orv.dir/dds/view_def.cpp.o" "gcc" "src/CMakeFiles/orv.dir/dds/view_def.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/CMakeFiles/orv.dir/extract/extractor.cpp.o" "gcc" "src/CMakeFiles/orv.dir/extract/extractor.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/orv.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/orv.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/page_index.cpp" "src/CMakeFiles/orv.dir/graph/page_index.cpp.o" "gcc" "src/CMakeFiles/orv.dir/graph/page_index.cpp.o.d"
+  "/root/repo/src/join/hash_join.cpp" "src/CMakeFiles/orv.dir/join/hash_join.cpp.o" "gcc" "src/CMakeFiles/orv.dir/join/hash_join.cpp.o.d"
+  "/root/repo/src/join/key.cpp" "src/CMakeFiles/orv.dir/join/key.cpp.o" "gcc" "src/CMakeFiles/orv.dir/join/key.cpp.o.d"
+  "/root/repo/src/meta/metadata.cpp" "src/CMakeFiles/orv.dir/meta/metadata.cpp.o" "gcc" "src/CMakeFiles/orv.dir/meta/metadata.cpp.o.d"
+  "/root/repo/src/qes/grace_hash.cpp" "src/CMakeFiles/orv.dir/qes/grace_hash.cpp.o" "gcc" "src/CMakeFiles/orv.dir/qes/grace_hash.cpp.o.d"
+  "/root/repo/src/qes/indexed_join.cpp" "src/CMakeFiles/orv.dir/qes/indexed_join.cpp.o" "gcc" "src/CMakeFiles/orv.dir/qes/indexed_join.cpp.o.d"
+  "/root/repo/src/qes/qes_common.cpp" "src/CMakeFiles/orv.dir/qes/qes_common.cpp.o" "gcc" "src/CMakeFiles/orv.dir/qes/qes_common.cpp.o.d"
+  "/root/repo/src/qes/scan_aggregate.cpp" "src/CMakeFiles/orv.dir/qes/scan_aggregate.cpp.o" "gcc" "src/CMakeFiles/orv.dir/qes/scan_aggregate.cpp.o.d"
+  "/root/repo/src/qps/planner.cpp" "src/CMakeFiles/orv.dir/qps/planner.cpp.o" "gcc" "src/CMakeFiles/orv.dir/qps/planner.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/CMakeFiles/orv.dir/query/parser.cpp.o" "gcc" "src/CMakeFiles/orv.dir/query/parser.cpp.o.d"
+  "/root/repo/src/rtree/rtree.cpp" "src/CMakeFiles/orv.dir/rtree/rtree.cpp.o" "gcc" "src/CMakeFiles/orv.dir/rtree/rtree.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/orv.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/orv.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/schema/schema.cpp" "src/CMakeFiles/orv.dir/schema/schema.cpp.o" "gcc" "src/CMakeFiles/orv.dir/schema/schema.cpp.o.d"
+  "/root/repo/src/schema/value.cpp" "src/CMakeFiles/orv.dir/schema/value.cpp.o" "gcc" "src/CMakeFiles/orv.dir/schema/value.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/orv.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/orv.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/orv.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/orv.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/subtable/bounds.cpp" "src/CMakeFiles/orv.dir/subtable/bounds.cpp.o" "gcc" "src/CMakeFiles/orv.dir/subtable/bounds.cpp.o.d"
+  "/root/repo/src/subtable/subtable.cpp" "src/CMakeFiles/orv.dir/subtable/subtable.cpp.o" "gcc" "src/CMakeFiles/orv.dir/subtable/subtable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("schema")
+subdirs("subtable")
+subdirs("chunkio")
+subdirs("extract")
+subdirs("rtree")
+subdirs("meta")
+subdirs("datagen")
+subdirs("sim")
+subdirs("cluster")
+subdirs("bds")
+subdirs("cache")
+subdirs("join")
+subdirs("graph")
+subdirs("sched")
+subdirs("qes")
+subdirs("cost")
+subdirs("qps")
+subdirs("dds")
+subdirs("query")
+subdirs("core")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bds.dir/bds/bds_test.cpp.o"
+  "CMakeFiles/test_bds.dir/bds/bds_test.cpp.o.d"
+  "test_bds"
+  "test_bds.pdb"
+  "test_bds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

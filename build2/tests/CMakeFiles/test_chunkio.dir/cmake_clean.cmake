@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunkio.dir/chunkio/chunkio_test.cpp.o"
+  "CMakeFiles/test_chunkio.dir/chunkio/chunkio_test.cpp.o.d"
+  "test_chunkio"
+  "test_chunkio.pdb"
+  "test_chunkio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunkio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/bytes_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/bytes_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/prng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/prng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/strings_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/tempdir_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/tempdir_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

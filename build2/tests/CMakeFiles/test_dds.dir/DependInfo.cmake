@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dds/aggregate_test.cpp" "tests/CMakeFiles/test_dds.dir/dds/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/test_dds.dir/dds/aggregate_test.cpp.o.d"
+  "/root/repo/tests/dds/distributed_test.cpp" "tests/CMakeFiles/test_dds.dir/dds/distributed_test.cpp.o" "gcc" "tests/CMakeFiles/test_dds.dir/dds/distributed_test.cpp.o.d"
+  "/root/repo/tests/dds/local_executor_test.cpp" "tests/CMakeFiles/test_dds.dir/dds/local_executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_dds.dir/dds/local_executor_test.cpp.o.d"
+  "/root/repo/tests/dds/parallel_executor_test.cpp" "tests/CMakeFiles/test_dds.dir/dds/parallel_executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_dds.dir/dds/parallel_executor_test.cpp.o.d"
+  "/root/repo/tests/dds/view_def_test.cpp" "tests/CMakeFiles/test_dds.dir/dds/view_def_test.cpp.o" "gcc" "tests/CMakeFiles/test_dds.dir/dds/view_def_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/orv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

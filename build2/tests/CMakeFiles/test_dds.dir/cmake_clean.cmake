@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dds.dir/dds/aggregate_test.cpp.o"
+  "CMakeFiles/test_dds.dir/dds/aggregate_test.cpp.o.d"
+  "CMakeFiles/test_dds.dir/dds/distributed_test.cpp.o"
+  "CMakeFiles/test_dds.dir/dds/distributed_test.cpp.o.d"
+  "CMakeFiles/test_dds.dir/dds/local_executor_test.cpp.o"
+  "CMakeFiles/test_dds.dir/dds/local_executor_test.cpp.o.d"
+  "CMakeFiles/test_dds.dir/dds/parallel_executor_test.cpp.o"
+  "CMakeFiles/test_dds.dir/dds/parallel_executor_test.cpp.o.d"
+  "CMakeFiles/test_dds.dir/dds/view_def_test.cpp.o"
+  "CMakeFiles/test_dds.dir/dds/view_def_test.cpp.o.d"
+  "test_dds"
+  "test_dds.pdb"
+  "test_dds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

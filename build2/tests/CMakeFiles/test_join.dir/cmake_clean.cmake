@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join.dir/join/hash_join_test.cpp.o"
+  "CMakeFiles/test_join.dir/join/hash_join_test.cpp.o.d"
+  "CMakeFiles/test_join.dir/join/join_kernel_test.cpp.o"
+  "CMakeFiles/test_join.dir/join/join_kernel_test.cpp.o.d"
+  "test_join"
+  "test_join.pdb"
+  "test_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qes/grace_hash_invariants_test.cpp" "tests/CMakeFiles/test_qes.dir/qes/grace_hash_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/test_qes.dir/qes/grace_hash_invariants_test.cpp.o.d"
+  "/root/repo/tests/qes/qes_test.cpp" "tests/CMakeFiles/test_qes.dir/qes/qes_test.cpp.o" "gcc" "tests/CMakeFiles/test_qes.dir/qes/qes_test.cpp.o.d"
+  "/root/repo/tests/qes/scan_aggregate_test.cpp" "tests/CMakeFiles/test_qes.dir/qes/scan_aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/test_qes.dir/qes/scan_aggregate_test.cpp.o.d"
+  "/root/repo/tests/qes/session_cache_test.cpp" "tests/CMakeFiles/test_qes.dir/qes/session_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_qes.dir/qes/session_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/orv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

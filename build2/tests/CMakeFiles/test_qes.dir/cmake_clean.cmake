@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qes.dir/qes/grace_hash_invariants_test.cpp.o"
+  "CMakeFiles/test_qes.dir/qes/grace_hash_invariants_test.cpp.o.d"
+  "CMakeFiles/test_qes.dir/qes/qes_test.cpp.o"
+  "CMakeFiles/test_qes.dir/qes/qes_test.cpp.o.d"
+  "CMakeFiles/test_qes.dir/qes/scan_aggregate_test.cpp.o"
+  "CMakeFiles/test_qes.dir/qes/scan_aggregate_test.cpp.o.d"
+  "CMakeFiles/test_qes.dir/qes/session_cache_test.cpp.o"
+  "CMakeFiles/test_qes.dir/qes/session_cache_test.cpp.o.d"
+  "test_qes"
+  "test_qes.pdb"
+  "test_qes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

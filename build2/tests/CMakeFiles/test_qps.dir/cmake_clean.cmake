@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qps.dir/qps/planner_test.cpp.o"
+  "CMakeFiles/test_qps.dir/qps/planner_test.cpp.o.d"
+  "test_qps"
+  "test_qps.pdb"
+  "test_qps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtable.dir/subtable/bounds_test.cpp.o"
+  "CMakeFiles/test_subtable.dir/subtable/bounds_test.cpp.o.d"
+  "CMakeFiles/test_subtable.dir/subtable/subtable_test.cpp.o"
+  "CMakeFiles/test_subtable.dir/subtable/subtable_test.cpp.o.d"
+  "test_subtable"
+  "test_subtable.pdb"
+  "test_subtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_subtable.
+# This may be replaced when dependencies are built.

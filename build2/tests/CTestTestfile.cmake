@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_common[1]_include.cmake")
+include("/root/repo/build2/tests/test_sim[1]_include.cmake")
+include("/root/repo/build2/tests/test_join[1]_include.cmake")
+include("/root/repo/build2/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build2/tests/test_qes[1]_include.cmake")
+include("/root/repo/build2/tests/test_schema[1]_include.cmake")
+include("/root/repo/build2/tests/test_subtable[1]_include.cmake")
+include("/root/repo/build2/tests/test_chunkio[1]_include.cmake")
+include("/root/repo/build2/tests/test_extract[1]_include.cmake")
+include("/root/repo/build2/tests/test_rtree[1]_include.cmake")
+include("/root/repo/build2/tests/test_meta[1]_include.cmake")
+include("/root/repo/build2/tests/test_cache[1]_include.cmake")
+include("/root/repo/build2/tests/test_sched[1]_include.cmake")
+include("/root/repo/build2/tests/test_graph[1]_include.cmake")
+include("/root/repo/build2/tests/test_cost[1]_include.cmake")
+include("/root/repo/build2/tests/test_qps[1]_include.cmake")
+include("/root/repo/build2/tests/test_dds[1]_include.cmake")
+include("/root/repo/build2/tests/test_query[1]_include.cmake")
+include("/root/repo/build2/tests/test_core[1]_include.cmake")
+include("/root/repo/build2/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build2/tests/test_bds[1]_include.cmake")
+include("/root/repo/build2/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build2/tests/test_misc[1]_include.cmake")
