@@ -3,13 +3,27 @@
 // Shared harness for the per-figure benchmarks: builds a dataset, runs
 // both QES algorithms on a fresh simulated cluster, evaluates the cost
 // models, and prints paper-style series rows.
+//
+// Profiling: when the ORV_PROFILE environment variable names a file, each
+// scenario run installs an observability context (virtual-time clock on
+// the scenario's engine) and appends a per-query execution profile —
+// stage-time breakdown, counters, and the PlanValidation record of
+// predicted vs. measured cost — to that file as {"profiles": [...]}.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/strings.hpp"
 #include "cost/cost_model.hpp"
 #include "datagen/generator.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "obs/sim_clock.hpp"
 #include "qes/qes.hpp"
 #include "qps/planner.hpp"
 #include "sim/engine.hpp"
@@ -40,6 +54,90 @@ struct ScenarioResult {
   }
 };
 
+/// Accumulates per-query execution profiles and rewrites the ORV_PROFILE
+/// file after each addition, so a partially completed bench still leaves
+/// valid JSON behind.
+class ProfileReport {
+ public:
+  static ProfileReport& instance() {
+    static ProfileReport report;
+    return report;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void set_figure(std::string figure) { figure_ = std::move(figure); }
+
+  /// One label per scenario; the two algorithm runs share it.
+  std::string next_label() {
+    return strformat("%s#%zu", figure_.c_str(), seq_++);
+  }
+
+  void add(obs::ExecutionProfile profile) {
+    profiles_.push_back(std::move(profile));
+    write();
+  }
+
+ private:
+  ProfileReport() {
+    if (const char* p = std::getenv("ORV_PROFILE")) path_ = p;
+  }
+
+  void write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "ORV_PROFILE: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::string out = "{\"profiles\":[";
+    for (std::size_t i = 0; i < profiles_.size(); ++i) {
+      if (i) out += ',';
+      out += profiles_[i].to_json();
+    }
+    out += "]}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+  std::string figure_ = "bench";
+  std::size_t seq_ = 0;
+  std::vector<obs::ExecutionProfile> profiles_;
+};
+
+namespace detail {
+
+/// Runs one algorithm under a freshly installed obs context (virtual-time
+/// clock) and appends its execution profile + plan validation.
+template <typename RunFn>
+QesResult run_profiled(const sim::Engine& engine, const std::string& label,
+                       Algorithm algorithm, const ScenarioResult& so_far,
+                       RunFn&& run) {
+  obs::SimClock clock(engine);
+  obs::ObsContext ctx(&clock);
+  QesResult result;
+  {
+    obs::ScopedInstall install(ctx);
+    result = run();
+    obs::PlanValidation pv;
+    pv.query = label;
+    pv.chosen = algorithm_name(so_far.planned);
+    pv.executed = algorithm_name(algorithm);
+    pv.predicted_ij = so_far.model_ij.total();
+    pv.predicted_gh = so_far.model_gh.total();
+    pv.predicted = algorithm == Algorithm::IndexedJoin
+                       ? so_far.model_ij.total()
+                       : so_far.model_gh.total();
+    pv.measured = result.elapsed;
+    ctx.add_plan_validation(std::move(pv));
+  }
+  ProfileReport::instance().add(obs::build_profile(
+      ctx, label, algorithm_name(algorithm), result.elapsed));
+  return result;
+}
+
+}  // namespace detail
+
 /// Runs both algorithms (each on a fresh engine+cluster so resource stats
 /// and virtual clocks do not interact) and evaluates the models.
 inline ScenarioResult run_scenario(Scenario sc) {
@@ -63,23 +161,39 @@ inline ScenarioResult run_scenario(Scenario sc) {
 
   QesOptions options = sc.options;
   options.cpu_work_factor = sc.cpu_work_factor;
+
+  const bool profiling = ProfileReport::instance().enabled();
+  const std::string label =
+      profiling ? ProfileReport::instance().next_label() : std::string();
   {
     sim::Engine engine;
     Cluster cluster(engine, sc.cluster);
     BdsService bds(cluster, ds.meta, ds.stores);
-    out.sim_ij = run_indexed_join(cluster, bds, ds.meta, graph, query,
-                                  options);
+    auto run = [&] {
+      return run_indexed_join(cluster, bds, ds.meta, graph, query, options);
+    };
+    out.sim_ij = profiling
+                     ? detail::run_profiled(engine, label,
+                                            Algorithm::IndexedJoin, out, run)
+                     : run();
   }
   {
     sim::Engine engine;
     Cluster cluster(engine, sc.cluster);
     BdsService bds(cluster, ds.meta, ds.stores);
-    out.sim_gh = run_grace_hash(cluster, bds, ds.meta, query, options);
+    auto run = [&] {
+      return run_grace_hash(cluster, bds, ds.meta, query, options);
+    };
+    out.sim_gh = profiling
+                     ? detail::run_profiled(engine, label,
+                                            Algorithm::GraceHash, out, run)
+                     : run();
   }
   return out;
 }
 
 inline void print_banner(const char* figure, const char* description) {
+  ProfileReport::instance().set_figure(figure);
   std::printf("==============================================================="
               "=================\n");
   std::printf("%s — %s\n", figure, description);

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace orv {
+
+namespace {
+
+/// Mirrors BdsStats deltas into the installed obs registry, if any.
+void publish_bds(std::uint64_t chunk_bytes, std::uint64_t shipped_bytes) {
+  auto* ctx = obs::context();
+  if (!ctx) return;
+  ctx->registry.counter("bds.subtables_served").add(1);
+  ctx->registry.counter("bds.chunk_bytes_read").add(chunk_bytes);
+  if (shipped_bytes) {
+    ctx->registry.counter("bds.subtable_bytes_shipped").add(shipped_bytes);
+  }
+}
+
+}  // namespace
 
 BdsInstance::BdsInstance(Cluster& cluster, std::size_t storage_node,
                          const MetaDataService& meta,
@@ -24,6 +40,8 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::produce(
   ORV_REQUIRE(cm.location.storage_node == node_,
               "BDS instance asked for a chunk on another node: " +
                   cm.location.to_string());
+  obs::StageScope stage(obs::context(), "bds.produce");
+  stage.tag("node", static_cast<std::uint64_t>(node_));
 
   // Charge the chunk read to the local disk, then do the real read.
   co_await cluster_.storage_disk(node_).read(
@@ -39,6 +57,7 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::produce(
 
   ++stats_.subtables_served;
   stats_.chunk_bytes_read += cm.location.size;
+  publish_bds(cm.location.size, 0);
   co_return st;
 }
 
@@ -79,6 +98,9 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
   ORV_REQUIRE(cm.location.storage_node == node_,
               "BDS instance asked for a chunk on another node: " +
                   cm.location.to_string());
+  obs::StageScope stage(obs::context(), "bds.fetch");
+  stage.tag("storage_node", static_cast<std::uint64_t>(node_));
+  stage.tag("compute_node", static_cast<std::uint64_t>(compute_node));
 
   // Streamed shipping: the chunk is read, extracted and sent in a pipeline,
   // so the fetch completes when the most-loaded stage does (this is what
@@ -106,6 +128,7 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
   ++stats_.subtables_served;
   stats_.chunk_bytes_read += cm.location.size;
   stats_.subtable_bytes_shipped += st->size_bytes();
+  publish_bds(cm.location.size, st->size_bytes());
   co_return st;
 }
 

@@ -1,8 +1,18 @@
 #include "cache/caching_service.hpp"
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace orv {
+
+namespace {
+
+/// Mirrors a cache counter into the installed obs registry, if any.
+inline void publish(const char* name, std::uint64_t n = 1) {
+  if (auto* ctx = obs::context()) ctx->registry.counter(name).add(n);
+}
+
+}  // namespace
 
 CachingService::CachingService(std::uint64_t capacity_bytes,
                                CachePolicy policy)
@@ -13,10 +23,12 @@ CachingService::CachingService(std::uint64_t capacity_bytes,
 std::shared_ptr<const SubTable> CachingService::get(SubTableId id) {
   auto it = map_.find(id);
   if (it == map_.end()) {
-    ++stats_.misses;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    publish("cache.misses");
     return nullptr;
   }
-  ++stats_.hits;
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  publish("cache.hits");
   if (policy_ == CachePolicy::LRU) {
     order_.splice(order_.end(), order_, it->second);  // refresh recency
   }
@@ -32,7 +44,8 @@ std::shared_ptr<const BuiltHashTable> CachingService::get_hash_table(
 
 void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
   ORV_REQUIRE(table != nullptr, "cannot cache a null sub-table");
-  ++stats_.puts;
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  publish("cache.puts");
   auto it = map_.find(id);
   if (it != map_.end()) {
     // Replace in place, adjusting accounting.
@@ -76,8 +89,12 @@ void CachingService::evict_until_fits(std::uint64_t incoming_bytes) {
 void CachingService::evict_one() {
   ORV_CHECK(!order_.empty(), "evict from an empty cache");
   Entry& victim = order_.front();
-  ++stats_.evictions;
-  stats_.bytes_evicted += victim.bytes();
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_evicted.fetch_add(victim.bytes(), std::memory_order_relaxed);
+  if (auto* ctx = obs::context()) {
+    ctx->registry.counter("cache.evictions").add(1);
+    ctx->registry.counter("cache.bytes_evicted").add(victim.bytes());
+  }
   used_bytes_ -= victim.bytes();
   map_.erase(victim.id);
   order_.pop_front();

@@ -8,6 +8,7 @@
 // Entries may carry the hash table built on a left sub-table, so the
 // Indexed Join builds each hash table only once (paper Section 5.1).
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -22,6 +23,10 @@ enum class CachePolicy { LRU, FIFO };
 
 class CachingService {
  public:
+  /// Point-in-time snapshot of the counters. The live counters are
+  /// relaxed atomics (a session cache's stats may be read while worker
+  /// threads drive queries through it), so readers always see torn-free
+  /// values; stats() materializes this plain copy.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -58,7 +63,15 @@ class CachingService {
   std::size_t num_entries() const { return map_.size(); }
   std::uint64_t used_bytes() const { return used_bytes_; }
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.hits = stats_.hits.load(std::memory_order_relaxed);
+    s.misses = stats_.misses.load(std::memory_order_relaxed);
+    s.evictions = stats_.evictions.load(std::memory_order_relaxed);
+    s.bytes_evicted = stats_.bytes_evicted.load(std::memory_order_relaxed);
+    s.puts = stats_.puts.load(std::memory_order_relaxed);
+    return s;
+  }
 
   void clear();
 
@@ -73,6 +86,14 @@ class CachingService {
     }
   };
 
+  struct AtomicStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> bytes_evicted{0};
+    std::atomic<std::uint64_t> puts{0};
+  };
+
   void evict_until_fits(std::uint64_t incoming_bytes);
   void evict_one();
 
@@ -83,7 +104,7 @@ class CachingService {
   std::list<Entry> order_;
   std::unordered_map<SubTableId, std::list<Entry>::iterator, SubTableIdHash>
       map_;
-  Stats stats_;
+  AtomicStats stats_;
 };
 
 }  // namespace orv

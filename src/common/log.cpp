@@ -1,12 +1,17 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+
+#include "obs/obs.hpp"
 
 namespace orv::log {
 
 namespace {
 std::atomic<Level> g_level{Level::Warn};
+std::atomic<bool> g_timestamps{false};
 
 const char* name(Level lvl) {
   switch (lvl) {
@@ -18,14 +23,65 @@ const char* name(Level lvl) {
   }
   return "?";
 }
+
+const char* obs_name(Level lvl) {
+  switch (lvl) {
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    default: return "info";
+  }
+}
+
+// Captured at static initialization, so timestamps are relative to (a
+// point very close to) process start.
+const std::chrono::steady_clock::time_point g_start =
+    std::chrono::steady_clock::now();
+
+double seconds_since_start() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_start)
+      .count();
+}
+
 }  // namespace
 
 void set_level(Level level) { g_level.store(level); }
 Level level() { return g_level.load(); }
 
+void set_timestamps(bool on) { g_timestamps.store(on); }
+bool timestamps() { return g_timestamps.load(); }
+
 void emit(Level lvl, const std::string& message) {
   if (lvl < g_level.load()) return;
-  std::fprintf(stderr, "[orv %s] %s\n", name(lvl), message.c_str());
+
+  // Build the full line first, then write it with a single call under a
+  // mutex, so lines from concurrent threads never interleave.
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += "[orv ";
+  line += name(lvl);
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %12.6f", seconds_since_start());
+    line += buf;
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  {
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+
+  if (lvl >= Level::Warn && lvl < Level::Off) {
+    if (auto* ctx = obs::context()) {
+      ctx->add_event(obs_name(lvl), message);
+      ctx->registry
+          .counter(lvl == Level::Warn ? "log.warn" : "log.error")
+          .add(1);
+    }
+  }
 }
 
 }  // namespace orv::log

@@ -14,7 +14,16 @@ enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_level(Level level);
 Level level();
 
-/// Emits a message to stderr if `lvl` passes the threshold.
+/// When on, each line is prefixed with seconds since process start
+/// (microsecond resolution). Off by default.
+void set_timestamps(bool on);
+bool timestamps();
+
+/// Emits a message to stderr if `lvl` passes the threshold. Thread-safe:
+/// the whole line (prefix + message + newline) is written in one call, so
+/// concurrent emitters never interleave within a line. Messages at Warn
+/// and above are also routed into the installed observability context
+/// (as LogEvents plus a "log.warn"/"log.error" counter), when one exists.
 void emit(Level lvl, const std::string& message);
 
 namespace detail {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 
 namespace orv {
 
@@ -63,6 +64,7 @@ ConnectivityGraph ConnectivityGraph::build(
     const std::vector<std::string>& join_attrs,
     const std::vector<AttrRange>& ranges) {
   ORV_REQUIRE(!join_attrs.empty(), "join needs at least one attribute");
+  obs::StageScope stage(obs::context(), "graph.build");
   ConnectivityGraph g;
 
   // Prune right chunks by the range predicate once; index survivors by
@@ -111,6 +113,12 @@ ConnectivityGraph ConnectivityGraph::build(
   g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()),
                  g.edges_.end());
   g.compute_components();
+  if (auto* ctx = obs::context()) {
+    ctx->registry.gauge("graph.num_edges")
+        .set(static_cast<double>(g.num_edges()));
+    ctx->registry.gauge("graph.num_components")
+        .set(static_cast<double>(g.num_components()));
+  }
   return g;
 }
 

@@ -1,0 +1,28 @@
+#pragma once
+
+// Pluggable clocks for the observability layer. Real runs use WallClock
+// (monotonic seconds); simulated runs use SimClock, which reads the
+// sim::Engine's virtual time, so the same spans/timers that profile a
+// real thread also profile a coroutine inside the discrete-event engine.
+
+#include <chrono>
+
+namespace orv::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary epoch; only differences are meaningful.
+  virtual double now() const = 0;
+};
+
+class WallClock final : public Clock {
+ public:
+  double now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace orv::obs

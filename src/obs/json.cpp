@@ -1,0 +1,224 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "obs/obs.hpp"
+
+namespace orv::obs {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  first_in_scope_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan
+    return;
+  }
+  out_ += strformat("%.9g", v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += strformat("%llu", static_cast<unsigned long long>(v));
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : snap.counters) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : snap.gauges) {
+    w.key(name);
+    w.value(v);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("p50");
+    w.value(h.p50);
+    w.key("p95");
+    w.value(h.p95);
+    w.key("p99");
+    w.value(h.p99);
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("bucket_counts");
+    w.begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_spans(JsonWriter& w, const std::vector<SpanRecord>& spans) {
+  w.begin_array();
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.key("id");
+    w.value(static_cast<std::uint64_t>(s.id.value));
+    w.key("parent");
+    w.value(static_cast<std::uint64_t>(s.parent.value));
+    w.key("name");
+    w.value(s.name);
+    w.key("start");
+    w.value(s.start);
+    w.key("end");
+    w.value(s.closed() ? s.end : s.start);
+    w.key("duration");
+    w.value(s.duration());
+    if (!s.tags.empty()) {
+      w.key("tags");
+      w.begin_object();
+      for (const auto& [k, v] : s.tags) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string export_json(const ObsContext& ctx) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics");
+  write_metrics(w, ctx.registry.snapshot());
+  w.key("spans");
+  write_spans(w, ctx.tracer.snapshot());
+  w.key("events");
+  w.begin_array();
+  for (const auto& ev : ctx.events()) {
+    w.begin_object();
+    w.key("time");
+    w.value(ev.time);
+    w.key("level");
+    w.value(ev.level);
+    w.key("message");
+    w.value(ev.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("plan_validations");
+  w.begin_array();
+  for (const auto& pv : ctx.plan_validations()) {
+    w.begin_object();
+    w.key("query");
+    w.value(pv.query);
+    w.key("chosen");
+    w.value(pv.chosen);
+    w.key("executed");
+    w.value(pv.executed);
+    w.key("predicted_ij");
+    w.value(pv.predicted_ij);
+    w.key("predicted_gh");
+    w.value(pv.predicted_gh);
+    w.key("predicted");
+    w.value(pv.predicted);
+    w.key("measured");
+    w.value(pv.measured);
+    w.key("error_ratio");
+    w.value(pv.error_ratio());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace orv::obs

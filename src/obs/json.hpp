@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal JSON writer plus exporters for the observability types: a
+// registry snapshot, a span tree, and the full context (metrics + spans +
+// log events + plan validations). No external dependency; output is
+// compact valid JSON.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace orv::obs {
+
+class ObsContext;
+
+/// Streaming writer; the caller is responsible for well-formed nesting
+/// (begin/end pairs). Keys and separators are emitted automatically.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(bool v);
+
+  const std::string& str() const { return out_; }
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+};
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snap);
+
+/// Flat array of span records; parent ids encode the tree.
+void write_spans(JsonWriter& w, const std::vector<SpanRecord>& spans);
+
+/// Full export: metrics + spans + events + plan validations.
+std::string export_json(const ObsContext& ctx);
+
+}  // namespace orv::obs

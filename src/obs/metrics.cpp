@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace orv::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  ORV_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_double(min_, v);
+  atomic_max_double(max_, v);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based: ceil(q * n), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t in_bucket =
+        buckets_[b].load(std::memory_order_relaxed);
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (b == bounds_.size()) return max();  // +inf bucket
+    // Interpolate within [lower, upper]; the first bucket's lower edge is
+    // the observed minimum (clamped so it never exceeds the bound).
+    const double upper = bounds_[b];
+    const double lower =
+        b == 0 ? std::min(min(), upper) : bounds_[b - 1];
+    const double frac = in_bucket == 0
+                            ? 1.0
+                            : static_cast<double>(rank - cum) /
+                                  static_cast<double>(in_bucket);
+    return lower + (upper - lower) * frac;
+  }
+  return max();
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t n) {
+  ORV_REQUIRE(start > 0 && factor > 1, "need start > 0 and factor > 1");
+  std::vector<double> out;
+  out.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i, v *= factor) out.push_back(v);
+  return out;
+}
+
+const std::vector<double>& duration_bounds() {
+  static const std::vector<double> bounds =
+      exponential_bounds(1e-6, 2.0, 30);  // 1us .. ~536s
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.name = name;
+    out.bounds = h->bounds();
+    out.counts = h->bucket_counts();
+    out.count = h->count();
+    out.sum = h->sum();
+    if (out.count > 0) {
+      out.min = h->min();
+      out.max = h->max();
+      out.p50 = h->p50();
+      out.p95 = h->p95();
+      out.p99 = h->p99();
+    }
+    snap.histograms.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace orv::obs

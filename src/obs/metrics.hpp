@@ -1,0 +1,121 @@
+#pragma once
+
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms with quantile estimation (p50/p95/p99 via linear
+// interpolation inside the owning bucket).
+//
+// Instruments are created on first use and owned by the registry; the
+// returned references stay valid for the registry's lifetime, so hot
+// paths should resolve an instrument once per scope and reuse it. All
+// mutation is lock-free (relaxed atomics); only name resolution and
+// snapshotting take the registry mutex.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orv::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed upper-bound buckets (ascending), with an implicit +inf bucket at
+/// the end. A value lands in the first bucket whose bound is >= value.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+
+  /// q in [0, 1]. Returns 0 for an empty histogram. Interpolates linearly
+  /// between the owning bucket's lower and upper bound; ranks falling in
+  /// the +inf bucket return the observed max.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds, +inf excluded
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Exponential bucket bounds: start, start*factor, ... (n bounds).
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t n);
+
+/// Default bounds for durations in seconds: 1us .. ~1000s, x2 steps.
+const std::vector<double>& duration_bounds();
+
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Hist> histograms;
+};
+
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation; later calls with the same
+  /// name return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& bounds = duration_bounds());
+
+  MetricsSnapshot snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace orv::obs

@@ -1,0 +1,41 @@
+#include "obs/obs.hpp"
+
+namespace orv::obs {
+
+std::atomic<ObsContext*> g_context{nullptr};
+
+void install(ObsContext* ctx) {
+  g_context.store(ctx, std::memory_order_release);
+}
+
+void uninstall() { g_context.store(nullptr, std::memory_order_release); }
+
+void ObsContext::add_event(std::string_view level, std::string message) {
+  LogEvent ev;
+  ev.time = clock_ ? clock_->now() : 0.0;
+  ev.level = std::string(level);
+  ev.message = std::move(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+std::vector<LogEvent> ObsContext::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+void ObsContext::add_plan_validation(PlanValidation pv) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_validations_.push_back(std::move(pv));
+}
+
+std::vector<PlanValidation> ObsContext::plan_validations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_validations_;
+}
+
+}  // namespace orv::obs

@@ -1,0 +1,144 @@
+#pragma once
+
+// Process-wide observability context: one Registry + one Tracer + a
+// pluggable Clock, installed for the duration of an instrumented run
+// (typically one query). When no context is installed — the default —
+// every instrumentation site reduces to one relaxed atomic load and a
+// predictable branch, so the disabled overhead is a no-op.
+//
+// Instrumented code does:
+//
+//   if (auto* ctx = obs::context()) ctx->registry.counter("x").add(1);
+//
+// or uses StageScope, which opens a span and feeds its duration into the
+// "<name>_seconds" histogram on close.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace orv::obs {
+
+/// QPS cost-model feedback: what the planner predicted vs. what the run
+/// measured, one record per executed query.
+struct PlanValidation {
+  std::string query;        // caller-supplied label
+  std::string chosen;       // algorithm the planner picked
+  std::string executed;     // algorithm actually run (may differ if forced)
+  double predicted_ij = 0;  // model total for Indexed Join, seconds
+  double predicted_gh = 0;  // model total for Grace Hash, seconds
+  double predicted = 0;     // model total for the chosen algorithm
+  double measured = 0;      // simulated/real elapsed seconds
+
+  /// measured / predicted; 0 when the prediction is degenerate.
+  double error_ratio() const {
+    return predicted > 0 ? measured / predicted : 0.0;
+  }
+};
+
+/// A log line routed into the observability sink (Warn and above).
+struct LogEvent {
+  double time = 0;  // context clock
+  std::string level;
+  std::string message;
+};
+
+class ObsContext {
+  const Clock* clock_;  // declared first: the tracer captures it
+
+ public:
+  /// `clock` must outlive the context; it stamps spans and log events.
+  explicit ObsContext(const Clock* clock)
+      : clock_(clock), tracer(clock) {}
+
+  Registry registry;
+  Tracer tracer;
+
+  const Clock* clock() const { return clock_; }
+
+  void add_event(std::string_view level, std::string message);
+  std::vector<LogEvent> events() const;
+
+  void add_plan_validation(PlanValidation pv);
+  std::vector<PlanValidation> plan_validations() const;
+
+ private:
+  static constexpr std::size_t kMaxEvents = 1024;
+
+  mutable std::mutex mu_;
+  std::deque<LogEvent> events_;
+  std::uint64_t events_dropped_ = 0;
+  std::vector<PlanValidation> plan_validations_;
+};
+
+/// Installs `ctx` as the process-wide context (nullptr uninstalls). The
+/// caller keeps ownership and must uninstall before destroying it.
+void install(ObsContext* ctx);
+void uninstall();
+
+/// The installed context, or nullptr (the common, fully-disabled case).
+inline ObsContext* context() {
+  extern std::atomic<ObsContext*> g_context;
+  return g_context.load(std::memory_order_acquire);
+}
+
+/// RAII install/uninstall of a context the scope owns.
+class ScopedInstall {
+ public:
+  explicit ScopedInstall(ObsContext& ctx) { install(&ctx); }
+  ~ScopedInstall() { uninstall(); }
+  ScopedInstall(const ScopedInstall&) = delete;
+  ScopedInstall& operator=(const ScopedInstall&) = delete;
+};
+
+/// One instrumented stage: a span named `name` plus, on close, an
+/// observation of the span's duration into histogram "<name>_seconds".
+/// All operations are no-ops when `ctx` is null, so call sites can hoist
+/// the context() load once per scope.
+class StageScope {
+ public:
+  StageScope() = default;
+  StageScope(ObsContext* ctx, std::string_view name, SpanId parent = {})
+      : ctx_(ctx), name_(name) {
+    if (ctx_) id_ = ctx_->tracer.begin(name, parent);
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  StageScope(StageScope&& o) noexcept
+      : ctx_(o.ctx_), name_(o.name_), id_(o.id_) {
+    o.ctx_ = nullptr;
+  }
+  ~StageScope() { close(); }
+
+  SpanId id() const { return id_; }
+
+  template <typename V>
+  void tag(std::string_view key, V value) {
+    if (ctx_) ctx_->tracer.tag(id_, key, value);
+  }
+
+  double close() {
+    double d = 0;
+    if (ctx_) {
+      d = ctx_->tracer.end(id_);
+      ctx_->registry.histogram(name_ + "_seconds").observe(d);
+      ctx_ = nullptr;
+    }
+    return d;
+  }
+
+ private:
+  ObsContext* ctx_ = nullptr;
+  std::string name_;
+  SpanId id_;
+};
+
+}  // namespace orv::obs

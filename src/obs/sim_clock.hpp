@@ -1,0 +1,20 @@
+#pragma once
+
+// SimClock lives in its own header so the core obs types stay free of a
+// sim dependency: only code that already links the engine includes this.
+
+#include "obs/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace orv::obs {
+
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(const sim::Engine& engine) : engine_(&engine) {}
+  double now() const override { return engine_->now(); }
+
+ private:
+  const sim::Engine* engine_;
+};
+
+}  // namespace orv::obs

@@ -1,0 +1,58 @@
+#include "obs/span.hpp"
+
+#include "common/strings.hpp"
+
+namespace orv::obs {
+
+SpanId Tracer::begin(std::string_view name, SpanId parent) {
+  const double t = clock_ ? clock_->now() : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord rec;
+  rec.id = SpanId{static_cast<std::uint32_t>(spans_.size() + 1)};
+  rec.parent = parent;
+  rec.name = std::string(name);
+  rec.start = t;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+double Tracer::end(SpanId id) {
+  const double t = clock_ ? clock_->now() : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!id || id.value > spans_.size()) return 0;
+  SpanRecord& rec = spans_[id.value - 1];
+  if (rec.closed()) return rec.duration();
+  rec.end = t;
+  return rec.duration();
+}
+
+void Tracer::tag(SpanId id, std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!id || id.value > spans_.size()) return;
+  spans_[id.value - 1].tags.emplace_back(std::string(key), std::move(value));
+}
+
+void Tracer::tag(SpanId id, std::string_view key, double value) {
+  tag(id, key, strformat("%.9g", value));
+}
+
+void Tracer::tag(SpanId id, std::string_view key, std::uint64_t value) {
+  tag(id, key, strformat("%llu", static_cast<unsigned long long>(value)));
+}
+
+std::size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace orv::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+// Lightweight span tracer: named, nested, tagged spans timestamped by a
+// pluggable Clock. Parent linkage is explicit (pass the parent's SpanId)
+// rather than via an implicit thread-local stack: the hot paths here are
+// coroutines multiplexed on one thread by sim::Engine, where "the
+// currently open span" is a per-coroutine notion, not a per-thread one.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace orv::obs {
+
+/// 1-based handle into the tracer's span table; 0 means "no span".
+struct SpanId {
+  std::uint32_t value = 0;
+  explicit operator bool() const { return value != 0; }
+};
+
+struct SpanRecord {
+  SpanId id;
+  SpanId parent;         // 0 = root
+  std::string name;
+  double start = 0;
+  double end = -1;       // < start means still open
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  bool closed() const { return end >= start; }
+  double duration() const { return closed() ? end - start : 0; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock) : clock_(clock) {}
+
+  SpanId begin(std::string_view name, SpanId parent = {});
+
+  /// Closes the span; returns its duration (0 for an invalid id).
+  double end(SpanId id);
+
+  void tag(SpanId id, std::string_view key, std::string value);
+  void tag(SpanId id, std::string_view key, double value);
+  void tag(SpanId id, std::string_view key, std::uint64_t value);
+
+  std::size_t num_spans() const;
+  std::vector<SpanRecord> snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  const Clock* clock_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span; no-op when constructed with a null tracer.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string_view name, SpanId parent = {})
+      : tracer_(tracer) {
+    if (tracer_) id_ = tracer_->begin(name, parent);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& o) noexcept
+      : tracer_(o.tracer_), id_(o.id_) {
+    o.tracer_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    if (this != &o) {
+      close();
+      tracer_ = o.tracer_;
+      id_ = o.id_;
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~ScopedSpan() { close(); }
+
+  SpanId id() const { return id_; }
+
+  template <typename V>
+  void tag(std::string_view key, V value) {
+    if (tracer_) tracer_->tag(id_, key, value);
+  }
+
+  /// Ends the span early; returns its duration.
+  double close() {
+    double d = 0;
+    if (tracer_) d = tracer_->end(id_);
+    tracer_ = nullptr;
+    return d;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_;
+};
+
+}  // namespace orv::obs

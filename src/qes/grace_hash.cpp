@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 #include "qes/qes.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
@@ -133,6 +134,8 @@ sim::Task<> gh_reader(GhShared& sh, std::size_t node, TableId table,
 
 /// Storage-node QES: stream local chunks of both tables through h1.
 sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
+  obs::StageScope stage(obs::context(), "gh.partition");
+  stage.tag("storage_node", static_cast<std::uint64_t>(node));
   Partitioner left_part(sh, true, static_cast<std::uint32_t>(node),
                         *sh.left_schema);
   Partitioner right_part(sh, false, static_cast<std::uint32_t>(node),
@@ -194,16 +197,32 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   std::vector<std::vector<std::byte>> right_buckets(sh.n_buckets);
 
   // --- Phase 1: receive, split by h2, spill to scratch. ---
+  auto* ctx = obs::context();
+  obs::StageScope recv_stage(ctx, "gh.receive");
+  recv_stage.tag("node", static_cast<std::uint64_t>(node));
+  // Hot-loop counters resolved once; the registry reference stays valid
+  // for the context's lifetime.
+  obs::Counter* batch_counter =
+      ctx ? &ctx->registry.counter("gh.batches") : nullptr;
+  obs::Counter* batch_bytes_counter =
+      ctx ? &ctx->registry.counter("gh.batch_bytes") : nullptr;
+  obs::Counter* spill_counter =
+      ctx ? &ctx->registry.counter("gh.bucket_spill_bytes") : nullptr;
   while (true) {
     auto item = co_await sh.to_compute[node]->recv();
     if (!item) break;
     Batch batch = std::move(*item);
+    if (batch_counter) {
+      batch_counter->add(1);
+      batch_bytes_counter->add(batch.bytes.size());
+    }
     // Ingress then bucket write, serialized per batch: the additive
     // Transfer + Write behaviour the paper's implementation exhibits.
     co_await sh.cluster.compute_ingress(
         node, static_cast<double>(batch.bytes.size()));
     co_await scratch.write(static_cast<double>(batch.bytes.size()),
                            static_cast<std::uint32_t>(node));
+    if (spill_counter) spill_counter->add(batch.bytes.size());
 
     const JoinKey& key = batch.left ? left_key : right_key;
     const std::size_t rs = batch.left ? lrs : rrs;
@@ -217,13 +236,21 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   if (sh.cluster.engine().now() > sh.partition_phase_end) {
     sh.partition_phase_end = sh.cluster.engine().now();
   }
+  recv_stage.close();
 
   // --- Phase 2: join bucket pairs independently (no network). ---
+  obs::StageScope join_stage(ctx, "gh.bucket_join");
+  join_stage.tag("node", static_cast<std::uint64_t>(node));
+  join_stage.tag("buckets", static_cast<std::uint64_t>(sh.n_buckets));
   ChunkId out_seq = 0;
   for (std::size_t b = 0; b < sh.n_buckets; ++b) {
     const double bucket_bytes = static_cast<double>(left_buckets[b].size() +
                                                     right_buckets[b].size());
     if (bucket_bytes == 0) continue;
+    if (ctx) {
+      ctx->registry.counter("gh.bucket_readback_bytes")
+          .add(static_cast<std::uint64_t>(bucket_bytes));
+    }
     co_await scratch.read(bucket_bytes, static_cast<std::uint32_t>(node));
 
     SubTable left(sh.left_schema, SubTableId{sh.query.left_table, 0});
@@ -352,6 +379,15 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   result.storage_disk_read_bytes = storage_read_total(cluster) - sread0;
   result.scratch_write_bytes = scratch_bytes_written(cluster) - cw0;
   result.scratch_read_bytes = scratch_bytes_read_total(cluster) - cr0;
+  if (auto* ctx = obs::context()) {
+    ctx->registry.counter("gh.result_tuples").add(sh.result_tuples);
+    ctx->registry.gauge("gh.n_buckets")
+        .set(static_cast<double>(sh.n_buckets));
+    ctx->registry.gauge("gh.partition_phase_seconds")
+        .set(result.partition_phase);
+    ctx->registry.gauge("gh.join_phase_seconds").set(result.join_phase);
+    ctx->registry.gauge("gh.elapsed_seconds").set(result.elapsed);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 #include "qes/qes.hpp"
 #include "sim/engine.hpp"
 
@@ -48,6 +49,9 @@ struct IjShared {
   std::uint64_t fetches = 0;
   std::uint64_t builds = 0;
   CachingService::Stats cache_total;
+
+  // Per-node "ij.node" span ids; parents for fetch/build/probe spans.
+  std::vector<obs::SpanId> node_spans;
 };
 
 void merge_cache_stats(CachingService::Stats& into,
@@ -62,6 +66,7 @@ void merge_cache_stats(CachingService::Stats& into,
 sim::Task<std::shared_ptr<const SubTable>> fetch_filtered(
     IjShared& sh, SubTableId id, std::size_t node) {
   ++sh.fetches;
+  obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
   if (sh.options.pushdown_selection && !sh.query.ranges.empty()) {
     // Selection pushed to the storage node: fewer bytes on the wire.
     co_return co_await sh.bds.instance_for(id).fetch_to_compute(
@@ -80,6 +85,7 @@ sim::Task<std::shared_ptr<const SubTable>> fetch_raw(IjShared& sh,
                                                      SubTableId id,
                                                      std::size_t node) {
   ++sh.fetches;
+  obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
   co_return co_await sh.bds.instance_for(id).fetch_to_compute(id, node);
 }
 
@@ -103,6 +109,11 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   auto& cpu = sh.cluster.compute_cpu(node);
   ChunkId out_seq = 0;
 
+  obs::StageScope node_stage(obs::context(), "ij.node");
+  node_stage.tag("node", static_cast<std::uint64_t>(node));
+  node_stage.tag("pairs", static_cast<std::uint64_t>(pairs.size()));
+  sh.node_spans[node] = node_stage.id();
+
   for (const auto& pair : pairs) {
     // Left sub-table + its hash table (built once, cached).
     auto left = cache.get(pair.left);
@@ -117,12 +128,15 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     }
     auto ht = cache.get_hash_table(pair.left);
     if (!ht) {
+      obs::StageScope build_stage(obs::context(), "ij.build",
+                                  node_stage.id());
       co_await cpu.use(hw.gamma_build * factor *
                        static_cast<double>(left->num_rows()));
       ht = std::make_shared<const BuiltHashTable>(left, sh.query.join_attrs);
       cache.attach_hash_table(pair.left, ht);
       ++sh.builds;
       sh.stats.build_tuples += left->num_rows();
+      build_stage.tag("rows", left->num_rows());
     }
 
     // Right sub-table.
@@ -137,10 +151,13 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     }
 
     // Probe: one lookup per right record (join selectivity 1 per Sec. 5).
+    obs::StageScope probe_stage(obs::context(), "ij.probe", node_stage.id());
     co_await cpu.use(hw.gamma_lookup * factor *
                      static_cast<double>(right->num_rows()));
     SubTable out(sh.result_schema, SubTableId{0, out_seq++});
     const JoinStats s = ht->probe(*right, sh.query.join_attrs, out);
+    probe_stage.tag("rows", right->num_rows());
+    probe_stage.close();
     sh.stats.probe_tuples += s.probe_tuples;
     if (persistent && !sh.query.ranges.empty()) {
       // Selection over the join output: equivalent to filtering the inputs
@@ -218,6 +235,7 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   const double net0 = cluster.network_bytes();
   const double sread0 = storage_read_bytes(cluster);
 
+  sh.node_spans.resize(cluster.num_compute());
   const double start = engine.now();
   std::vector<sim::JoinHandle> handles;
   for (std::size_t j = 0; j < cluster.num_compute(); ++j) {
@@ -240,6 +258,12 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   result.cache_stats = sh.cache_total;
   result.network_bytes = cluster.network_bytes() - net0;
   result.storage_disk_read_bytes = storage_read_bytes(cluster) - sread0;
+  if (auto* ctx = obs::context()) {
+    ctx->registry.counter("ij.subtable_fetches").add(sh.fetches);
+    ctx->registry.counter("ij.hash_tables_built").add(sh.builds);
+    ctx->registry.counter("ij.result_tuples").add(sh.result_tuples);
+    ctx->registry.gauge("ij.elapsed_seconds").set(result.elapsed);
+  }
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "qps/planner.hpp"
 
 #include "common/strings.hpp"
+#include "obs/obs.hpp"
 
 namespace orv {
 
@@ -16,12 +17,14 @@ std::string PlanDecision::to_string() const {
 PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
                                 std::size_t rs_left, std::size_t rs_right,
                                 double cpu_factor) const {
+  obs::StageScope stage(obs::context(), "qps.plan");
   PlanDecision d;
   d.params = CostParams::from(cluster_, data, rs_left, rs_right, cpu_factor);
   d.ij = ij_cost(d.params);
   d.gh = gh_cost(d.params);
   d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
                                           : Algorithm::GraceHash;
+  stage.tag("chosen", std::string(algorithm_name(d.chosen)));
   return d;
 }
 
@@ -47,10 +50,32 @@ QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
                                 const ConnectivityGraph& graph,
                                 const JoinQuery& query,
                                 const QesOptions& options) const {
+  auto* ctx = obs::context();
+  obs::StageScope stage(ctx, "qps.execute");
+  stage.tag("algorithm", std::string(algorithm_name(decision.chosen)));
+
+  QesResult result;
   if (decision.chosen == Algorithm::IndexedJoin) {
-    return run_indexed_join(cluster, bds, meta, graph, query, options);
+    result = run_indexed_join(cluster, bds, meta, graph, query, options);
+  } else {
+    result = run_grace_hash(cluster, bds, meta, query, options);
   }
-  return run_grace_hash(cluster, bds, meta, query, options);
+
+  if (ctx) {
+    // Cost-model feedback: what the Section 5 models predicted for this
+    // query vs. what the execution measured.
+    obs::PlanValidation pv;
+    pv.query = strformat("join(t%u,t%u)", query.left_table,
+                         query.right_table);
+    pv.chosen = algorithm_name(decision.chosen);
+    pv.executed = pv.chosen;
+    pv.predicted_ij = decision.ij.total();
+    pv.predicted_gh = decision.gh.total();
+    pv.predicted = decision.predicted_seconds();
+    pv.measured = result.elapsed;
+    ctx->add_plan_validation(std::move(pv));
+  }
+  return result;
 }
 
 }  // namespace orv
