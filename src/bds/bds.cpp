@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace orv {
@@ -42,6 +43,22 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::produce(
                   cm.location.to_string());
   obs::StageScope stage(obs::context(), "bds.produce");
   stage.tag("node", static_cast<std::uint64_t>(node_));
+
+  if (auto* inj = fault::context()) {
+    if (inj->storage_down(node_)) {
+      inj->note_crash_observed(fault::NodeKind::Storage, node_);
+      const double up_at = inj->storage_recovery_time(node_);
+      if (up_at == fault::kNever) {
+        throw fault::FaultError("storage node " + std::to_string(node_) +
+                                " permanently lost; chunk " + id.to_string() +
+                                " is unreadable");
+      }
+      // Local produce has no remote caller to time out: the request just
+      // stalls on the dead node until it serves again.
+      co_await cluster_.engine().wait_until(up_at);
+    }
+    inj->maybe_fail_chunk_read(node_);
+  }
 
   // Charge the chunk read to the local disk, then do the real read.
   co_await cluster_.storage_disk(node_).read(
@@ -101,6 +118,30 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
   obs::StageScope stage(obs::context(), "bds.fetch");
   stage.tag("storage_node", static_cast<std::uint64_t>(node_));
   stage.tag("compute_node", static_cast<std::uint64_t>(compute_node));
+
+  if (auto* inj = fault::context()) {
+    if (inj->storage_down(node_)) {
+      inj->note_crash_observed(fault::NodeKind::Storage, node_);
+      const double timeout = inj->plan().retry.fetch_timeout;
+      const double up_at = inj->storage_recovery_time(node_);
+      if (timeout > 0 &&
+          up_at > cluster_.engine().now() + timeout) {
+        // The compute-side caller gives up after the RPC timeout; the
+        // retry loop around the fetch decides whether to try again.
+        co_await cluster_.engine().sleep(timeout);
+        throw fault::TimeoutError(
+            "fetch of " + id.to_string() + " timed out: storage node " +
+            std::to_string(node_) + " is down");
+      }
+      if (up_at == fault::kNever) {
+        throw fault::FaultError("storage node " + std::to_string(node_) +
+                                " permanently lost; chunk " + id.to_string() +
+                                " is unreadable");
+      }
+      co_await cluster_.engine().wait_until(up_at);
+    }
+    inj->maybe_fail_chunk_read(node_);
+  }
 
   // Streamed shipping: the chunk is read, extracted and sent in a pipeline,
   // so the fetch completes when the most-loaded stage does (this is what

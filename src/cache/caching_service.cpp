@@ -21,6 +21,7 @@ CachingService::CachingService(std::uint64_t capacity_bytes,
 }
 
 std::shared_ptr<const SubTable> CachingService::get(SubTableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
@@ -37,6 +38,7 @@ std::shared_ptr<const SubTable> CachingService::get(SubTableId id) {
 
 std::shared_ptr<const BuiltHashTable> CachingService::get_hash_table(
     SubTableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return nullptr;
   return it->second->hash_table;
@@ -44,6 +46,7 @@ std::shared_ptr<const BuiltHashTable> CachingService::get_hash_table(
 
 void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
   ORV_REQUIRE(table != nullptr, "cannot cache a null sub-table");
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   publish("cache.puts");
   auto it = map_.find(id);
@@ -70,12 +73,25 @@ void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
 
 void CachingService::attach_hash_table(
     SubTableId id, std::shared_ptr<const BuiltHashTable> ht) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
   if (it == map_.end()) return;  // entry already evicted; drop silently
   used_bytes_ -= it->second->bytes();
   it->second->hash_table = std::move(ht);
   used_bytes_ += it->second->bytes();
   evict_until_fits(0);
+}
+
+bool CachingService::invalidate(SubTableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end()) return false;
+  used_bytes_ -= it->second->bytes();
+  order_.erase(it->second);
+  map_.erase(it);
+  stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  publish("cache.invalidations");
+  return true;
 }
 
 void CachingService::evict_until_fits(std::uint64_t incoming_bytes) {
@@ -101,6 +117,7 @@ void CachingService::evict_one() {
 }
 
 void CachingService::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   order_.clear();
   map_.clear();
   used_bytes_ = 0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "join/hash_join.hpp"
@@ -27,12 +28,17 @@ class CachingService {
   /// relaxed atomics (a session cache's stats may be read while worker
   /// threads drive queries through it), so readers always see torn-free
   /// values; stats() materializes this plain copy.
+  ///
+  /// Counting invariant: every get() increments exactly one of hits or
+  /// misses *inside the structural lock*, so hits + misses equals the
+  /// number of lookups even when other threads evict concurrently.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t bytes_evicted = 0;
     std::uint64_t puts = 0;
+    std::uint64_t invalidations = 0;
 
     double hit_rate() const {
       const auto total = hits + misses;
@@ -59,9 +65,22 @@ class CachingService {
   void attach_hash_table(SubTableId id,
                          std::shared_ptr<const BuiltHashTable> ht);
 
-  bool contains(SubTableId id) const { return map_.count(id) > 0; }
-  std::size_t num_entries() const { return map_.size(); }
-  std::uint64_t used_bytes() const { return used_bytes_; }
+  /// Drops an entry outright (e.g. its source failed a re-fetch, so the
+  /// cached copy is suspect). Returns true if an entry was removed.
+  bool invalidate(SubTableId id);
+
+  bool contains(SubTableId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.count(id) > 0;
+  }
+  std::size_t num_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  std::uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_bytes_;
+  }
   std::uint64_t capacity_bytes() const { return capacity_bytes_; }
   Stats stats() const {
     Stats s;
@@ -70,6 +89,7 @@ class CachingService {
     s.evictions = stats_.evictions.load(std::memory_order_relaxed);
     s.bytes_evicted = stats_.bytes_evicted.load(std::memory_order_relaxed);
     s.puts = stats_.puts.load(std::memory_order_relaxed);
+    s.invalidations = stats_.invalidations.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -92,6 +112,7 @@ class CachingService {
     std::atomic<std::uint64_t> evictions{0};
     std::atomic<std::uint64_t> bytes_evicted{0};
     std::atomic<std::uint64_t> puts{0};
+    std::atomic<std::uint64_t> invalidations{0};
   };
 
   void evict_until_fits(std::uint64_t incoming_bytes);
@@ -99,6 +120,10 @@ class CachingService {
 
   std::uint64_t capacity_bytes_;
   CachePolicy policy_;
+  // Guards the structures AND the hit/miss classification: a lookup and
+  // its counter bump happen atomically with respect to concurrent
+  // eviction, keeping hits + misses == lookups exact under contention.
+  mutable std::mutex mu_;
   std::uint64_t used_bytes_ = 0;
   // Recency list: front = next eviction victim.
   std::list<Entry> order_;

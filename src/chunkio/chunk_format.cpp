@@ -1,5 +1,7 @@
 #include "chunkio/chunk_format.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace orv {
@@ -64,7 +66,18 @@ ChunkHeader decode_chunk_header(std::span<const std::byte> chunk_bytes,
   if (h.bounds.dims() != h.schema.num_attrs()) {
     throw FormatError("chunk bounds dimension disagrees with schema");
   }
-  if (h.num_rows * h.schema.record_size() != h.payload_size) {
+  for (std::size_t d = 0; d < h.bounds.dims(); ++d) {
+    // NaN bounds would poison every downstream comparison (R-tree sort
+    // comparators stop being strict weak orders, overlap tests go false).
+    if (std::isnan(h.bounds[d].lo) || std::isnan(h.bounds[d].hi)) {
+      throw FormatError("chunk bounds contain NaN");
+    }
+  }
+  // Divide instead of multiplying: a forged num_rows near 2^64 would wrap
+  // num_rows * record_size right back to payload_size and sail through,
+  // then overflow the extractor's n * record_size allocation.
+  const std::size_t rs = h.schema.record_size();
+  if (rs == 0 || h.payload_size % rs != 0 || h.num_rows != h.payload_size / rs) {
     throw FormatError("chunk payload size disagrees with row count");
   }
   return h;

@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
 #include "sim/channel.hpp"
@@ -59,26 +60,84 @@ struct GhShared {
   std::uint64_t fingerprint = 0;
   JoinStats stats;
   double partition_phase_end = 0;
+
+  // Round-based recovery protocol state; only touched when a fault
+  // injector is installed (fault-free runs take the single-round fast
+  // path with no extra synchronization).
+  std::unique_ptr<sim::Latch> drain_latch;  // one count per compute node
+  std::unique_ptr<sim::Event> round_gate;   // set once the round's verdict is in
+  std::vector<std::unique_ptr<sim::Event>> retired_gates;
+  bool partition_complete = false;
+  std::vector<char> final_dead;  // valid once partition_complete is set
+
+  // Fault accounting.
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t rows_repartitioned = 0;
+  std::uint64_t compute_nodes_lost = 0;
 };
 
+/// Routing chain for one row: candidate k is h1 re-salted k times; the
+/// destination is the first alive candidate. k = 0 reproduces the plain h1
+/// routing, so with no dead nodes this is byte-identical to the fault-free
+/// partitioner. Rows with equal join keys hash identically at every k and
+/// therefore share the whole chain — matching left/right rows stay
+/// co-located no matter which prefix of the chain has died.
+std::size_t chain_dest(const JoinKey& key, const std::byte* row,
+                       std::size_t n_dest, const std::vector<char>& dead) {
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::size_t cand =
+        key.hash_row(row, kSaltGraceH1 + k * 0x9e3779b97f4a7c15ull) % n_dest;
+    if (dead.empty() || !dead[cand]) return cand;
+  }
+  // Pathological chain: fall back to the first survivor (key-independent,
+  // hence the same for every row — co-location still holds).
+  for (std::size_t j = 0; j < n_dest; ++j) {
+    if (!dead[j]) return j;
+  }
+  throw fault::FaultError("grace hash: no surviving compute node to route to");
+}
+
 /// Per-destination batch buffers for one storage process and one table.
+/// `dead` is the routing dead-set for this partition round (empty on the
+/// fault-free path and in round 0).
 class Partitioner {
  public:
   Partitioner(GhShared& sh, bool left, std::uint32_t src,
-              const Schema& schema)
+              const Schema& schema, std::vector<char> dead = {})
       : sh_(sh),
         left_(left),
         src_(src),
         record_size_(schema.record_size()),
         key_(JoinKey::resolve(schema, sh.query.join_attrs)),
+        dead_(std::move(dead)),
         buffers_(sh.to_compute.size()) {}
 
   sim::Task<> add_subtable(const SubTable& st) {
     const std::size_t n_dest = buffers_.size();
     for (std::size_t r = 0; r < st.num_rows(); ++r) {
       const std::byte* row = st.row(r);
-      const std::size_t dest =
-          key_.hash_row(row, kSaltGraceH1) % n_dest;
+      const std::size_t dest = chain_dest(key_, row, n_dest, dead_);
+      auto& buf = buffers_[dest];
+      buf.insert(buf.end(), row, row + record_size_);
+      if (buf.size() >= sh_.options.batch_bytes) {
+        co_await flush(dest);
+      }
+    }
+  }
+
+  /// Recovery rounds only: re-send exactly the rows whose copy was lost,
+  /// i.e. rows whose destination under `prev_dead` has since died. Rows
+  /// whose previous destination survives are skipped — their copy is still
+  /// bucketed there, and re-sending would duplicate them.
+  sim::Task<> add_lost_rows(const SubTable& st,
+                            const std::vector<char>& prev_dead) {
+    const std::size_t n_dest = buffers_.size();
+    for (std::size_t r = 0; r < st.num_rows(); ++r) {
+      const std::byte* row = st.row(r);
+      const std::size_t prev = chain_dest(key_, row, n_dest, prev_dead);
+      if (!dead_[prev]) continue;
+      ++sh_.rows_repartitioned;
+      const std::size_t dest = chain_dest(key_, row, n_dest, dead_);
       auto& buf = buffers_[dest];
       buf.insert(buf.end(), row, row + record_size_);
       if (buf.size() >= sh_.options.batch_bytes) {
@@ -102,13 +161,30 @@ class Partitioner {
                                             record_size_);
     batch.bytes = std::move(buffers_[dest]);
     buffers_[dest].clear();
-    // Egress (source NIC + switch) is charged here, pacing the sender; the
-    // receiver charges its own NIC + bucket write when it processes the
-    // batch. Splitting the two sides keeps per-flow accounting additive
-    // without convoy coupling across source NICs.
-    co_await sh_.cluster.storage_egress(src_,
-                                        static_cast<double>(batch.bytes.size()));
-    co_await sh_.to_compute[dest]->send(std::move(batch));
+    const double batch_bytes = static_cast<double>(batch.bytes.size());
+    auto* inj = fault::context();
+    while (true) {
+      // Egress (source NIC + switch) is charged here, pacing the sender;
+      // the receiver charges its own NIC + bucket write when it processes
+      // the batch. Splitting the two sides keeps per-flow accounting
+      // additive without convoy coupling across source NICs.
+      co_await sh_.cluster.storage_egress(src_, batch_bytes);
+      if (inj) {
+        const auto act = inj->on_message(src_, dest);
+        if (act.drop) {
+          // Lost on the wire: the sender notices via timeout and resends,
+          // so drops cost virtual time but never data.
+          co_await sh_.cluster.engine().sleep(
+              inj->plan().retransmit_timeout);
+          continue;
+        }
+        if (act.delay > 0) {
+          co_await sh_.cluster.engine().sleep(act.delay);
+        }
+      }
+      co_await sh_.to_compute[dest]->send(std::move(batch));
+      break;
+    }
   }
 
   GhShared& sh_;
@@ -116,8 +192,37 @@ class Partitioner {
   std::uint32_t src_;
   std::size_t record_size_;
   JoinKey key_;
+  std::vector<char> dead_;
   std::vector<std::vector<std::byte>> buffers_;
 };
+
+/// BDS produce with the same timeout/backoff retry the Indexed Join's
+/// fetches get: transient injected read errors retry; a permanently lost
+/// storage node surfaces as a clean FaultError.
+sim::Task<std::shared_ptr<const SubTable>> produce_with_retry(
+    GhShared& sh, std::size_t node, SubTableId id) {
+  auto* inj = fault::context();
+  const fault::RetryPolicy policy =
+      inj ? inj->plan().retry : fault::RetryPolicy{};
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      co_await sh.cluster.engine().sleep(policy.backoff(attempt));
+    }
+    try {
+      co_return co_await sh.bds.instance(node).produce(id);
+    } catch (const IoError& e) {
+      if (!inj) throw;  // genuine device error: not ours to mask
+      if (attempt + 1 >= policy.max_attempts) {
+        throw fault::FaultError("produce of " + id.to_string() +
+                                " failed after " +
+                                std::to_string(attempt + 1) +
+                                " attempts: " + e.what());
+      }
+      inj->note_retry();
+      ++sh.fetch_retries;
+    }
+  }
+}
 
 /// Reads a node's local chunks of one table into a small bounded queue, so
 /// disk reads pipeline behind partitioning/sending (read-ahead; this is
@@ -126,7 +231,7 @@ sim::Task<> gh_reader(GhShared& sh, std::size_t node, TableId table,
                       sim::Channel<std::shared_ptr<const SubTable>>& out) {
   for (const auto& cm : sh.meta.chunks(table)) {
     if (cm.location.storage_node != node) continue;
-    auto st = co_await sh.bds.instance(node).produce(cm.id);
+    auto st = co_await produce_with_retry(sh, node, cm.id);
     co_await out.send(std::move(st));
   }
   out.close();
@@ -169,10 +274,112 @@ sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
   done.count_down();
 }
 
-/// Closes all compute channels once every storage process finished.
-sim::Task<> gh_closer(GhShared& sh, sim::Latch& done) {
-  co_await done.wait();
+/// Recovery-round sender: re-reads this storage node's local chunks of
+/// both tables and re-sends the rows whose previous chain destination has
+/// died. Every copy that could have landed on a dead node is lost with the
+/// node (dead receivers discard their whole partition state), so re-sent
+/// rows appear exactly once in the surviving buckets.
+sim::Task<> gh_repartition(GhShared& sh, std::size_t node,
+                           std::vector<char> prev_dead,
+                           std::vector<char> dead) {
+  obs::StageScope stage(obs::context(), "gh.repartition");
+  stage.tag("storage_node", static_cast<std::uint64_t>(node));
+  Partitioner left_part(sh, true, static_cast<std::uint32_t>(node),
+                        *sh.left_schema, dead);
+  Partitioner right_part(sh, false, static_cast<std::uint32_t>(node),
+                         *sh.right_schema, dead);
+
+  auto resend_table = [](GhShared& s, std::size_t n, TableId table,
+                         Partitioner& part,
+                         const std::vector<char>& prev) -> sim::Task<> {
+    for (const auto& cm : s.meta.chunks(table)) {
+      if (cm.location.storage_node != n) continue;
+      auto st = co_await produce_with_retry(s, n, cm.id);
+      if (!s.query.ranges.empty()) {
+        const SubTable filtered =
+            filter_rows(*st, st->schema(), s.query.ranges);
+        co_await part.add_lost_rows(filtered, prev);
+      } else {
+        co_await part.add_lost_rows(*st, prev);
+      }
+    }
+  };
+
+  co_await resend_table(sh, node, sh.query.left_table, left_part, prev_dead);
+  co_await left_part.flush_all();
+  co_await resend_table(sh, node, sh.query.right_table, right_part,
+                        prev_dead);
+  co_await right_part.flush_all();
+}
+
+/// Closes compute channels once every storage sender finishes; with a
+/// fault injector installed it then runs the quiesce protocol: wait for
+/// every receiver to drain the round, take the compute dead-set at quiesce
+/// time, and either declare the partition stable or open another round of
+/// channels and launch the re-partition senders. The dead set only grows,
+/// so the loop terminates; losing every compute node fails the query with
+/// a clean FaultError instead of hanging.
+sim::Task<> gh_coordinator(GhShared& sh, sim::Latch& storage_done) {
+  auto& engine = sh.cluster.engine();
+  auto* inj = fault::context();
+  co_await storage_done.wait();
   for (auto& ch : sh.to_compute) ch->close();
+  if (!inj) co_return;  // fault-free: exactly the old channel closer
+
+  const std::size_t n_compute = sh.cluster.num_compute();
+  std::vector<char> prev_dead(n_compute, 0);
+  while (true) {
+    co_await sh.drain_latch->wait();
+    // Every receiver is now parked on the round gate (count_down and the
+    // gate wait happen with no intervening suspension), so the shared
+    // round state below can be swapped without racing a drain.
+    std::vector<char> dead(n_compute, 0);
+    std::size_t n_dead = 0;
+    for (std::size_t j = 0; j < n_compute; ++j) {
+      if (inj->compute_crashed_by(j, engine.now())) {
+        dead[j] = 1;
+        ++n_dead;
+        inj->note_crash_observed(fault::NodeKind::Compute, j);
+      }
+    }
+    auto old_gate = std::move(sh.round_gate);
+    if (dead == prev_dead) {
+      // No deaths this round: every surviving row rests at its chain
+      // destination under `dead`. Partition is stable.
+      sh.final_dead = dead;
+      sh.compute_nodes_lost = n_dead;
+      sh.partition_complete = true;
+      old_gate->set();
+      co_return;
+    }
+    if (n_dead == n_compute) {
+      sh.final_dead = dead;
+      sh.compute_nodes_lost = n_dead;
+      sh.partition_complete = true;  // release receivers before failing
+      old_gate->set();
+      throw fault::FaultError(
+          "grace hash: every compute node crashed; query cannot complete");
+    }
+    // Open the next round, then release the receivers into it.
+    for (std::size_t j = 0; j < n_compute; ++j) {
+      sh.to_compute[j] = std::make_unique<sim::Channel<Batch>>(
+          engine, sh.options.channel_capacity);
+    }
+    sh.drain_latch = std::make_unique<sim::Latch>(engine, n_compute);
+    sh.round_gate = std::make_unique<sim::Event>(engine);
+    sh.retired_gates.push_back(std::move(old_gate));
+    sh.retired_gates.back()->set();
+
+    std::vector<sim::JoinHandle> senders;
+    for (std::size_t i = 0; i < sh.cluster.num_storage(); ++i) {
+      senders.push_back(
+          engine.spawn(gh_repartition(sh, i, prev_dead, dead),
+                       strformat("gh-repartition-%zu", i)));
+    }
+    for (auto& h : senders) co_await h.join();
+    for (auto& ch : sh.to_compute) ch->close();
+    prev_dead = std::move(dead);
+  }
 }
 
 /// Compute-node QES: receive + h2-split into scratch buckets, barrier-free
@@ -196,8 +403,12 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   std::vector<std::vector<std::byte>> left_buckets(sh.n_buckets);
   std::vector<std::vector<std::byte>> right_buckets(sh.n_buckets);
 
-  // --- Phase 1: receive, split by h2, spill to scratch. ---
+  // --- Phase 1: receive, split by h2, spill to scratch. With a fault
+  // injector installed this loops over quiesce rounds; a receiver whose
+  // crash time has passed discards its entire partition state but keeps
+  // draining (black hole) so senders never block on a dead destination.
   auto* ctx = obs::context();
+  auto* inj = fault::context();
   obs::StageScope recv_stage(ctx, "gh.receive");
   recv_stage.tag("node", static_cast<std::uint64_t>(node));
   // Hot-loop counters resolved once; the registry reference stays valid
@@ -208,35 +419,67 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
       ctx ? &ctx->registry.counter("gh.batch_bytes") : nullptr;
   obs::Counter* spill_counter =
       ctx ? &ctx->registry.counter("gh.bucket_spill_bytes") : nullptr;
+  bool i_am_dead = false;
+  auto check_death = [&] {
+    if (!i_am_dead && inj && inj->compute_down(node)) {
+      i_am_dead = true;
+      inj->note_crash_observed(fault::NodeKind::Compute, node);
+      for (auto& b : left_buckets) {
+        b.clear();
+        b.shrink_to_fit();
+      }
+      for (auto& b : right_buckets) {
+        b.clear();
+        b.shrink_to_fit();
+      }
+    }
+  };
   while (true) {
-    auto item = co_await sh.to_compute[node]->recv();
-    if (!item) break;
-    Batch batch = std::move(*item);
-    if (batch_counter) {
-      batch_counter->add(1);
-      batch_bytes_counter->add(batch.bytes.size());
-    }
-    // Ingress then bucket write, serialized per batch: the additive
-    // Transfer + Write behaviour the paper's implementation exhibits.
-    co_await sh.cluster.compute_ingress(
-        node, static_cast<double>(batch.bytes.size()));
-    co_await scratch.write(static_cast<double>(batch.bytes.size()),
-                           static_cast<std::uint32_t>(node));
-    if (spill_counter) spill_counter->add(batch.bytes.size());
+    while (true) {
+      auto item = co_await sh.to_compute[node]->recv();
+      if (!item) break;
+      Batch batch = std::move(*item);
+      check_death();
+      if (i_am_dead) continue;  // discard; the coordinator re-sends
+      if (batch_counter) {
+        batch_counter->add(1);
+        batch_bytes_counter->add(batch.bytes.size());
+      }
+      // Ingress then bucket write, serialized per batch: the additive
+      // Transfer + Write behaviour the paper's implementation exhibits.
+      co_await sh.cluster.compute_ingress(
+          node, static_cast<double>(batch.bytes.size()));
+      co_await scratch.write(static_cast<double>(batch.bytes.size()),
+                             static_cast<std::uint32_t>(node));
+      if (spill_counter) spill_counter->add(batch.bytes.size());
 
-    const JoinKey& key = batch.left ? left_key : right_key;
-    const std::size_t rs = batch.left ? lrs : rrs;
-    auto& buckets = batch.left ? left_buckets : right_buckets;
-    for (std::uint32_t r = 0; r < batch.rows; ++r) {
-      const std::byte* row = batch.bytes.data() + r * rs;
-      const std::size_t b = key.hash_row(row, kSaltGraceH2) % sh.n_buckets;
-      buckets[b].insert(buckets[b].end(), row, row + rs);
+      const JoinKey& key = batch.left ? left_key : right_key;
+      const std::size_t rs = batch.left ? lrs : rrs;
+      auto& buckets = batch.left ? left_buckets : right_buckets;
+      for (std::uint32_t r = 0; r < batch.rows; ++r) {
+        const std::byte* row = batch.bytes.data() + r * rs;
+        const std::size_t b = key.hash_row(row, kSaltGraceH2) % sh.n_buckets;
+        buckets[b].insert(buckets[b].end(), row, row + rs);
+      }
     }
+    if (!inj) break;  // fault-free: one round, no barrier
+    check_death();
+    // count_down and the gate wait run with no suspension in between, so
+    // by the time the coordinator wakes every receiver is parked on the
+    // (old) gate and the round state can be swapped safely.
+    sh.drain_latch->count_down();
+    co_await sh.round_gate->wait();
+    if (sh.partition_complete) break;
   }
   if (sh.cluster.engine().now() > sh.partition_phase_end) {
     sh.partition_phase_end = sh.cluster.engine().now();
   }
   recv_stage.close();
+  if (inj && !sh.final_dead.empty() && sh.final_dead[node]) {
+    // Fail-stop: a dead node joins no buckets; every row routed to it has
+    // been re-sent to a survivor.
+    co_return;
+  }
 
   // --- Phase 2: join bucket pairs independently (no network). ---
   obs::StageScope join_stage(ctx, "gh.bucket_join");
@@ -345,6 +588,9 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
     sh.to_compute.push_back(std::make_unique<sim::Channel<Batch>>(
         engine, options.channel_capacity));
   }
+  sh.drain_latch =
+      std::make_unique<sim::Latch>(engine, cluster.num_compute());
+  sh.round_gate = std::make_unique<sim::Event>(engine);
 
   const double net0 = cluster.network_bytes();
   const double sread0 = storage_read_total(cluster);
@@ -358,7 +604,8 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
     handles.push_back(engine.spawn(gh_storage(sh, i, storage_done),
                                    strformat("gh-storage-%zu", i)));
   }
-  handles.push_back(engine.spawn(gh_closer(sh, storage_done), "gh-closer"));
+  handles.push_back(
+      engine.spawn(gh_coordinator(sh, storage_done), "gh-coordinator"));
   for (std::size_t j = 0; j < cluster.num_compute(); ++j) {
     handles.push_back(
         engine.spawn(gh_compute(sh, j), strformat("gh-compute-%zu", j)));
@@ -379,6 +626,16 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   result.storage_disk_read_bytes = storage_read_total(cluster) - sread0;
   result.scratch_write_bytes = scratch_bytes_written(cluster) - cw0;
   result.scratch_read_bytes = scratch_bytes_read_total(cluster) - cr0;
+  result.fetch_retries = sh.fetch_retries;
+  result.rows_repartitioned = sh.rows_repartitioned;
+  result.compute_nodes_lost = sh.compute_nodes_lost;
+  result.degraded = sh.fetch_retries > 0 || sh.rows_repartitioned > 0 ||
+                    sh.compute_nodes_lost > 0;
+  if (result.degraded) {
+    if (auto* ctx = obs::context()) {
+      ctx->registry.counter("query.degraded").add(1);
+    }
+  }
   if (auto* ctx = obs::context()) {
     ctx->registry.counter("gh.result_tuples").add(sh.result_tuples);
     ctx->registry.gauge("gh.n_buckets")

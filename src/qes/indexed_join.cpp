@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
 #include "sim/engine.hpp"
@@ -50,6 +51,13 @@ struct IjShared {
   std::uint64_t builds = 0;
   CachingService::Stats cache_total;
 
+  // Fault recovery state (empty/zero on a fault-free run).
+  std::vector<char> dead;             // compute nodes observed fail-stop
+  std::vector<SubTablePair> orphans;  // pairs abandoned by dead nodes
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t pairs_reassigned = 0;
+  std::uint64_t compute_nodes_lost = 0;
+
   // Per-node "ij.node" span ids; parents for fetch/build/probe spans.
   std::vector<obs::SpanId> node_spans;
 };
@@ -61,32 +69,56 @@ void merge_cache_stats(CachingService::Stats& into,
   into.evictions += from.evictions;
   into.bytes_evicted += from.bytes_evicted;
   into.puts += from.puts;
+  into.invalidations += from.invalidations;
 }
 
-sim::Task<std::shared_ptr<const SubTable>> fetch_filtered(
-    IjShared& sh, SubTableId id, std::size_t node) {
+/// One fetch from the owning BDS instance, with the query's selection
+/// applied per the options (`raw` skips filtering: persistent-cache mode
+/// caches raw). Retryable I/O failures (injected read errors, RPC
+/// timeouts against a down storage node) back off exponentially and try
+/// again; exhausting the budget invalidates any stale cache entry for the
+/// id and surfaces a clean FaultError.
+sim::Task<std::shared_ptr<const SubTable>> fetch_subtable(
+    IjShared& sh, SubTableId id, std::size_t node, bool raw,
+    CachingService& cache) {
   ++sh.fetches;
   obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
-  if (sh.options.pushdown_selection && !sh.query.ranges.empty()) {
-    // Selection pushed to the storage node: fewer bytes on the wire.
-    co_return co_await sh.bds.instance_for(id).fetch_to_compute(
-        id, node, &sh.query.ranges);
+  auto* inj = fault::context();
+  const fault::RetryPolicy policy =
+      inj ? inj->plan().retry : fault::RetryPolicy{};
+  const bool pushdown =
+      !raw && sh.options.pushdown_selection && !sh.query.ranges.empty();
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      co_await sh.cluster.engine().sleep(policy.backoff(attempt));
+    }
+    try {
+      std::shared_ptr<const SubTable> st;
+      if (pushdown) {
+        // Selection pushed to the storage node: fewer bytes on the wire.
+        st = co_await sh.bds.instance_for(id).fetch_to_compute(
+            id, node, &sh.query.ranges);
+      } else {
+        st = co_await sh.bds.instance_for(id).fetch_to_compute(id, node);
+      }
+      if (!raw && !pushdown && !sh.query.ranges.empty()) {
+        st = std::make_shared<const SubTable>(
+            filter_rows(*st, st->schema(), sh.query.ranges));
+      }
+      co_return st;
+    } catch (const IoError& e) {
+      cache.invalidate(id);  // a cached copy of a failing source is suspect
+      if (!inj) throw;       // genuine device error: not ours to mask
+      if (attempt + 1 >= policy.max_attempts) {
+        throw fault::FaultError("fetch of " + id.to_string() +
+                                " failed after " +
+                                std::to_string(attempt + 1) +
+                                " attempts: " + e.what());
+      }
+      inj->note_retry();
+      ++sh.fetch_retries;
+    }
   }
-  auto st = co_await sh.bds.instance_for(id).fetch_to_compute(id, node);
-  if (!sh.query.ranges.empty()) {
-    st = std::make_shared<const SubTable>(
-        filter_rows(*st, st->schema(), sh.query.ranges));
-  }
-  co_return st;
-}
-
-/// Fetch without any filtering (persistent-cache mode caches raw).
-sim::Task<std::shared_ptr<const SubTable>> fetch_raw(IjShared& sh,
-                                                     SubTableId id,
-                                                     std::size_t node) {
-  ++sh.fetches;
-  obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
-  co_return co_await sh.bds.instance_for(id).fetch_to_compute(id, node);
 }
 
 sim::Task<> ij_node(IjShared& sh, std::size_t node,
@@ -114,16 +146,24 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   node_stage.tag("pairs", static_cast<std::uint64_t>(pairs.size()));
   sh.node_spans[node] = node_stage.id();
 
-  for (const auto& pair : pairs) {
+  auto* inj = fault::context();
+  bool died = false;
+  std::size_t next = 0;  // first pair whose output has NOT been accumulated
+  for (; next < pairs.size(); ++next) {
+    const auto& pair = pairs[next];
+    // Fail-stop checks bracket each pair: once the node's crash time has
+    // passed it abandons the current pair *before* accumulating its output,
+    // so every pair's result is emitted exactly once (here or at the
+    // surviving node the supervisor re-assigns it to).
+    if (inj && inj->compute_down(node)) {
+      died = true;
+      break;
+    }
+
     // Left sub-table + its hash table (built once, cached).
     auto left = cache.get(pair.left);
     if (!left) {
-      // Note: co_await inside ?: miscompiles on gcc 12; keep if/else.
-      if (persistent) {
-        left = co_await fetch_raw(sh, pair.left, node);
-      } else {
-        left = co_await fetch_filtered(sh, pair.left, node);
-      }
+      left = co_await fetch_subtable(sh, pair.left, node, persistent, cache);
       cache.put(pair.left, left);
     }
     auto ht = cache.get_hash_table(pair.left);
@@ -138,15 +178,15 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
       sh.stats.build_tuples += left->num_rows();
       build_stage.tag("rows", left->num_rows());
     }
+    if (inj && inj->compute_down(node)) {  // mid-pair: fetches take time
+      died = true;
+      break;
+    }
 
     // Right sub-table.
     auto right = cache.get(pair.right);
     if (!right) {
-      if (persistent) {
-        right = co_await fetch_raw(sh, pair.right, node);
-      } else {
-        right = co_await fetch_filtered(sh, pair.right, node);
-      }
+      right = co_await fetch_subtable(sh, pair.right, node, persistent, cache);
       cache.put(pair.right, right);
     }
 
@@ -154,6 +194,11 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     obs::StageScope probe_stage(obs::context(), "ij.probe", node_stage.id());
     co_await cpu.use(hw.gamma_lookup * factor *
                      static_cast<double>(right->num_rows()));
+    if (inj && inj->compute_down(node)) {  // pre-accumulation check
+      probe_stage.close();
+      died = true;
+      break;
+    }
     SubTable out(sh.result_schema, SubTableId{0, out_seq++});
     const JoinStats s = ht->probe(*right, sh.query.join_attrs, out);
     probe_stage.tag("rows", right->num_rows());
@@ -169,6 +214,13 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     sh.fingerprint += out.unordered_fingerprint();
     if (sh.options.result_sink) sh.options.result_sink(node, out);
   }
+  if (died) {
+    inj->note_crash_observed(fault::NodeKind::Compute, node);
+    sh.dead[node] = 1;
+    // Everything from the abandoned pair on is orphaned work for the
+    // supervisor to re-assign.
+    sh.orphans.insert(sh.orphans.end(), pairs.begin() + next, pairs.end());
+  }
   // Report only this run's cache activity (session caches accumulate).
   CachingService::Stats delta = cache.stats();
   delta.hits -= stats_before.hits;
@@ -176,7 +228,52 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   delta.evictions -= stats_before.evictions;
   delta.bytes_evicted -= stats_before.bytes_evicted;
   delta.puts -= stats_before.puts;
+  delta.invalidations -= stats_before.invalidations;
   merge_cache_stats(sh.cache_total, delta);
+}
+
+/// Spawns one worker per compute node, then supervises: when workers die
+/// fail-stop, their orphaned pairs are re-distributed round-robin over the
+/// survivors and a new round of workers runs. The dead set only grows and
+/// chaos plans always leave a survivor, so the loop terminates; if every
+/// node is lost the query fails with a clean FaultError instead of
+/// hanging or dropping rows.
+sim::Task<> ij_supervisor(IjShared& sh,
+                          std::vector<std::vector<SubTablePair>> work) {
+  auto& engine = sh.cluster.engine();
+  std::vector<char> alive(work.size(), 1);
+  bool first_round = true;
+  while (true) {
+    std::vector<sim::JoinHandle> handles;
+    for (std::size_t j = 0; j < work.size(); ++j) {
+      if (!alive[j]) continue;
+      // Round 0 spawns every node (even idle ones) so the fault-free run
+      // is event-for-event identical to the pre-fault engine behaviour.
+      if (!first_round && work[j].empty()) continue;
+      handles.push_back(engine.spawn(ij_node(sh, j, std::move(work[j])),
+                                     strformat("ij-node-%zu", j)));
+    }
+    first_round = false;
+    for (auto& h : handles) co_await h.join();
+    for (std::size_t j = 0; j < work.size(); ++j) {
+      if (sh.dead[j] && alive[j]) {
+        alive[j] = 0;
+        ++sh.compute_nodes_lost;
+      }
+      work[j].clear();
+    }
+    if (sh.orphans.empty()) co_return;
+    std::vector<SubTablePair> orphans = std::move(sh.orphans);
+    sh.orphans.clear();
+    sh.pairs_reassigned += orphans.size();
+    bool any_alive = false;
+    for (char a : alive) any_alive = any_alive || a != 0;
+    if (!any_alive) {
+      throw fault::FaultError(
+          "indexed join: every compute node crashed; query cannot complete");
+    }
+    work = redistribute_pairs(orphans, alive);
+  }
 }
 
 }  // namespace
@@ -236,16 +333,12 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   const double sread0 = storage_read_bytes(cluster);
 
   sh.node_spans.resize(cluster.num_compute());
+  sh.dead.assign(cluster.num_compute(), 0);
   const double start = engine.now();
-  std::vector<sim::JoinHandle> handles;
-  for (std::size_t j = 0; j < cluster.num_compute(); ++j) {
-    handles.push_back(engine.spawn(ij_node(sh, j, schedule.pairs_per_node[j]),
-                                   strformat("ij-node-%zu", j)));
-  }
+  const sim::JoinHandle sup = engine.spawn(
+      ij_supervisor(sh, std::move(schedule.pairs_per_node)), "ij-supervisor");
   engine.run();
-  for (const auto& h : handles) {
-    ORV_CHECK(h.done(), "IJ node process did not finish");
-  }
+  ORV_CHECK(sup.done(), "IJ supervisor did not finish");
 
   QesResult result;
   result.elapsed = engine.now() - start;
@@ -258,6 +351,16 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   result.cache_stats = sh.cache_total;
   result.network_bytes = cluster.network_bytes() - net0;
   result.storage_disk_read_bytes = storage_read_bytes(cluster) - sread0;
+  result.fetch_retries = sh.fetch_retries;
+  result.pairs_reassigned = sh.pairs_reassigned;
+  result.compute_nodes_lost = sh.compute_nodes_lost;
+  result.degraded = sh.fetch_retries > 0 || sh.pairs_reassigned > 0 ||
+                    sh.compute_nodes_lost > 0;
+  if (result.degraded) {
+    if (auto* ctx = obs::context()) {
+      ctx->registry.counter("query.degraded").add(1);
+    }
+  }
   if (auto* ctx = obs::context()) {
     ctx->registry.counter("ij.subtable_fetches").add(sh.fetches);
     ctx->registry.counter("ij.hash_tables_built").add(sh.builds);

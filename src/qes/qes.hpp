@@ -104,6 +104,15 @@ struct QesResult {
   std::uint64_t subtable_fetches = 0;
   std::uint64_t hash_tables_built = 0;
 
+  // Fault recovery accounting (all zero on a fault-free run).
+  std::uint64_t fetch_retries = 0;       // BDS fetch attempts beyond the first
+  std::uint64_t pairs_reassigned = 0;    // IJ: orphaned pairs re-run elsewhere
+  std::uint64_t rows_repartitioned = 0;  // GH: rows re-routed after a death
+  std::uint64_t compute_nodes_lost = 0;  // fail-stop compute crashes observed
+  /// The run finished correctly but leaned on recovery (retries, node
+  /// deaths); mirrored to the query.degraded obs counter.
+  bool degraded = false;
+
   std::string to_string() const;
 };
 
@@ -134,6 +143,15 @@ ReferenceResult reference_join(const MetaDataService& meta,
                                const std::vector<std::shared_ptr<ChunkStore>>&
                                    stores,
                                const JoinQuery& query);
+
+/// Second, independent oracle: same extraction/filter path as
+/// reference_join, but the join itself is a brute-force nested loop with
+/// no hashing in common with the QES implementations. The differential
+/// tests require IJ == GH == nested-loop on the same inputs.
+ReferenceResult nested_loop_reference(
+    const MetaDataService& meta,
+    const std::vector<std::shared_ptr<ChunkStore>>& stores,
+    const JoinQuery& query);
 
 /// Applies the query's record-level range predicate to a sub-table,
 /// returning the surviving rows (same schema/id). Used by both QES and the

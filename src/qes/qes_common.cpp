@@ -56,8 +56,34 @@ ReferenceResult reference_join(
   return res;
 }
 
+ReferenceResult nested_loop_reference(
+    const MetaDataService& meta,
+    const std::vector<std::shared_ptr<ChunkStore>>& stores,
+    const JoinQuery& query) {
+  auto load_table = [&](TableId table) {
+    SubTable all(meta.table_schema(table), SubTableId{table, 0});
+    for (const auto& cm : meta.chunks(table)) {
+      const auto bytes = stores.at(cm.location.storage_node)->read(cm.location);
+      SubTable st = extract_chunk(bytes);
+      SubTable filtered = filter_rows(st, st.schema(), query.ranges);
+      for (std::size_t r = 0; r < filtered.num_rows(); ++r) {
+        all.append_row({filtered.row(r), filtered.record_size()});
+      }
+    }
+    return all;
+  };
+  const SubTable left = load_table(query.left_table);
+  const SubTable right = load_table(query.right_table);
+  const SubTable joined =
+      nested_loop_join(left, right, query.join_attrs, SubTableId{0, 0});
+  ReferenceResult res;
+  res.result_tuples = joined.num_rows();
+  res.result_fingerprint = joined.unordered_fingerprint();
+  return res;
+}
+
 std::string QesResult::to_string() const {
-  return strformat(
+  std::string s = strformat(
       "elapsed=%.3fs tuples=%llu (partition=%.3fs join=%.3fs) "
       "net=%s scratch(w/r)=%s/%s fetches=%llu builds=%llu "
       "cache(h/m/e)=%llu/%llu/%llu",
@@ -70,6 +96,16 @@ std::string QesResult::to_string() const {
       (unsigned long long)cache_stats.hits,
       (unsigned long long)cache_stats.misses,
       (unsigned long long)cache_stats.evictions);
+  if (degraded) {
+    s += strformat(
+        " DEGRADED retries=%llu pairs_reassigned=%llu "
+        "rows_repartitioned=%llu compute_lost=%llu",
+        (unsigned long long)fetch_retries,
+        (unsigned long long)pairs_reassigned,
+        (unsigned long long)rows_repartitioned,
+        (unsigned long long)compute_nodes_lost);
+  }
+  return s;
 }
 
 }  // namespace orv

@@ -60,6 +60,7 @@ QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
   } else {
     result = run_grace_hash(cluster, bds, meta, query, options);
   }
+  stage.tag("degraded", static_cast<std::uint64_t>(result.degraded ? 1 : 0));
 
   if (ctx) {
     // Cost-model feedback: what the Section 5 models predicted for this

@@ -25,7 +25,11 @@ double enlargement(const Rect& box, const Rect& add) {
 }
 
 double center(const Rect& r, std::size_t d) {
-  return 0.5 * (r[d].lo + r[d].hi);
+  const double c = 0.5 * (r[d].lo + r[d].hi);
+  // [-inf, inf] (and NaN-tainted) boxes would give NaN centers, and NaN
+  // keys break the sort comparators' strict weak ordering — collapse them
+  // to 0 so such boxes sort consistently instead of invoking UB.
+  return std::isnan(c) ? 0.0 : c;
 }
 
 }  // namespace

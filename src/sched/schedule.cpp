@@ -171,4 +171,19 @@ void order_pairs(std::vector<std::vector<SubTablePair>>& per_node,
 
 }  // namespace
 
+std::vector<std::vector<SubTablePair>> redistribute_pairs(
+    const std::vector<SubTablePair>& orphans, const std::vector<char>& alive) {
+  std::vector<std::size_t> survivors;
+  for (std::size_t j = 0; j < alive.size(); ++j) {
+    if (alive[j]) survivors.push_back(j);
+  }
+  ORV_REQUIRE(!survivors.empty(),
+              "cannot redistribute pairs: no surviving nodes");
+  std::vector<std::vector<SubTablePair>> out(alive.size());
+  for (std::size_t p = 0; p < orphans.size(); ++p) {
+    out[survivors[p % survivors.size()]].push_back(orphans[p]);
+  }
+  return out;
+}
+
 }  // namespace orv

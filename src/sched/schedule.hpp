@@ -65,6 +65,13 @@ Schedule make_schedule(const ConnectivityGraph& graph, std::size_t num_nodes,
                        PairOrder order = PairOrder::Lexicographic,
                        std::uint64_t seed = 0);
 
+/// Redistributes a list of orphaned pairs (work lost to crashed QES
+/// instances) across the surviving nodes, round-robin in list order.
+/// `alive[j]` marks node j usable; the result has one (possibly empty)
+/// list per node, empty for dead nodes. Requires at least one survivor.
+std::vector<std::vector<SubTablePair>> redistribute_pairs(
+    const std::vector<SubTablePair>& orphans, const std::vector<char>& alive);
+
 /// Per-(component, node) affinity scores: affinity[c][n] estimates how
 /// many bytes of component c's sub-tables node n already holds. Components
 /// go to their argmax node (ties and zero rows fall back to round-robin),

@@ -44,6 +44,13 @@ class JoinHandle {
 
   bool valid() const { return state_ != nullptr; }
   bool done() const { return state_ && state_->done; }
+  /// The process finished by throwing and nobody has observed the
+  /// exception yet (supervisors use this to tell crash-failed workers from
+  /// clean completions without rethrowing).
+  bool faulted() const {
+    return state_ && state_->done && state_->exception != nullptr &&
+           !state_->exception_observed;
+  }
   const std::string& name() const { return state_->name; }
 
   /// Awaitable: suspends until the process completes; rethrows its

@@ -3,6 +3,10 @@
 
 #include "cache/caching_service.hpp"
 
+#include <atomic>
+#include <random>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -125,6 +129,80 @@ TEST(Cache, Validation) {
   EXPECT_THROW(CachingService(0), InvalidArgument);
   CachingService cache(100);
   EXPECT_THROW(cache.put({1, 0}, nullptr), InvalidArgument);
+}
+
+TEST(Cache, InvalidateDropsEntryAndBytes) {
+  CachingService cache(1000);
+  cache.put({1, 0}, table_of(25, 0));  // 100 bytes
+  cache.put({1, 1}, table_of(25, 1));
+  EXPECT_TRUE(cache.invalidate({1, 0}));
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_TRUE(cache.contains({1, 1}));
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // Invalidation is not an eviction: the entry was dropped as suspect,
+  // not displaced by capacity pressure.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_FALSE(cache.invalidate({1, 0}));  // already gone
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(Cache, InvalidateDropsAttachedHashTableBytes) {
+  CachingService cache(100000);
+  auto left = table_of(100, 0);
+  cache.put({1, 0}, left);
+  cache.attach_hash_table({1, 0},
+                          std::make_shared<const BuiltHashTable>(
+                              left, std::vector<std::string>{"k"}));
+  EXPECT_TRUE(cache.invalidate({1, 0}));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.get_hash_table({1, 0}), nullptr);
+}
+
+TEST(Cache, StatsStayConsistentUnderConcurrentEviction) {
+  // Hammer one small cache from several threads so every lookup races
+  // against evictions and invalidations, then check the counting
+  // invariant: every get() classified as exactly one of hit or miss, so
+  // hits + misses == lookups even though entries vanished mid-stream.
+  CachingService cache(400);  // room for ~4 tables → constant eviction
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<std::uint64_t> lookups{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &lookups, t] {
+      std::mt19937_64 rng(1000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const ChunkId id = static_cast<ChunkId>(rng() % 16);
+        switch (rng() % 4) {
+          case 0:
+            cache.put({1, id}, table_of(25, id));
+            break;
+          case 1:
+            cache.invalidate({1, id});
+            break;
+          default:
+            cache.get({1, id});
+            lookups.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, lookups.load());
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_GT(s.evictions, 0u);
+  // Byte accounting survived the contention too.
+  std::uint64_t live = 0;
+  for (ChunkId id = 0; id < 16; ++id) {
+    if (auto st = cache.get({1, id})) live += st->size_bytes();
+  }
+  EXPECT_EQ(cache.used_bytes(), live);
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+#pragma once
+
+// Chaos/differential test harness.
+//
+// One 64-bit seed deterministically derives a whole scenario — dataset
+// shape, cluster size, query predicate — and (for chaos sweeps) a
+// FaultPlan. A scenario is executed once fault-free to establish the
+// oracle fingerprint, then again under injected faults; the results must
+// be byte-identical (same row multiset → same order-independent
+// fingerprint, same tuple count). The single-threaded simulation engine
+// makes every run replayable bit-for-bit, so a failing seed printed by a
+// sweep reproduces with one command:
+//
+//   ORV_CHAOS_SEED=<seed> ORV_CHAOS_N=1 ./tests/test_fault --gtest_filter='Chaos.*'
+//
+// Sweep width and base seed come from ORV_CHAOS_N / ORV_CHAOS_SEED so CI
+// can run a reduced nightly sweep without recompiling.
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bds/bds.hpp"
+#include "common/prng.hpp"
+#include "datagen/generator.hpp"
+#include "fault/fault.hpp"
+#include "graph/connectivity.hpp"
+#include "qes/qes.hpp"
+#include "sim/engine.hpp"
+
+namespace orv::chaos {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 0);
+}
+
+/// Everything a run needs, derived deterministically from one seed.
+struct Scenario {
+  DatasetSpec spec;
+  ClusterSpec cspec;
+  std::vector<std::string> join_attrs;
+  std::vector<AttrRange> ranges;
+};
+
+/// Random-but-valid scenario: partition sizes are powers of two dividing
+/// the grid, so DatasetSpec::validate()'s regular-partitioning requirement
+/// (min divides max per dimension) holds by construction.
+inline Scenario make_scenario(std::uint64_t seed) {
+  Xoshiro256StarStar rng(seed ^ 0xC0A05EEDFACEull);
+  Scenario sc;
+
+  const std::uint64_t dims[2] = {8, 16};
+  auto pick_part = [&](std::uint64_t grid) {
+    const std::uint64_t divisors[3] = {2, 4, 8};
+    std::uint64_t p = divisors[rng.below(3)];
+    while (p > grid) p /= 2;
+    return p;
+  };
+  sc.spec.grid = {dims[rng.below(2)], dims[rng.below(2)], 8};
+  sc.spec.part1 = {pick_part(sc.spec.grid.x), pick_part(sc.spec.grid.y),
+                   pick_part(sc.spec.grid.z)};
+  sc.spec.part2 = {pick_part(sc.spec.grid.x), pick_part(sc.spec.grid.y),
+                   pick_part(sc.spec.grid.z)};
+  sc.spec.extra_attrs1 = 1 + rng.below(2);
+  sc.spec.extra_attrs2 = 1 + rng.below(2);
+  sc.spec.seed = rng();
+
+  sc.cspec.num_storage = 1 + rng.below(3);  // 1..3
+  sc.cspec.num_compute = 2 + rng.below(3);  // 2..4: one crash is survivable
+  sc.spec.num_storage_nodes = sc.cspec.num_storage;
+
+  sc.join_attrs = {"x", "y", "z"};
+  if (rng.below(2) == 0) {
+    // Range predicate over one or two coordinate attributes.
+    const char* attrs[3] = {"x", "y", "z"};
+    const std::size_t n_ranges = 1 + rng.below(2);
+    for (std::size_t i = 0; i < n_ranges; ++i) {
+      const char* attr = attrs[rng.below(3)];
+      const double g = static_cast<double>(sc.spec.grid.x);
+      double lo = rng.uniform(0.0, g);
+      double hi = rng.uniform(0.0, g);
+      if (lo > hi) std::swap(lo, hi);
+      sc.ranges.push_back({attr, {lo, hi}});
+    }
+  }
+  return sc;
+}
+
+/// Holds the (engine-independent) dataset for one scenario; each run gets
+/// a fresh engine + cluster + BDS so injected faults cannot leak between
+/// runs.
+struct ChaosRig {
+  Scenario sc;
+  GeneratedDataset ds;
+  JoinQuery query;
+  ConnectivityGraph graph;
+
+  explicit ChaosRig(std::uint64_t scenario_seed)
+      : ChaosRig(make_scenario(scenario_seed)) {}
+
+  /// Targeted tests build the scenario by hand.
+  explicit ChaosRig(Scenario scenario)
+      : sc(std::move(scenario)), ds(generate_dataset(sc.spec)) {
+    query.left_table = sc.spec.table1_id;
+    query.right_table = sc.spec.table2_id;
+    query.join_attrs = sc.join_attrs;
+    query.ranges = sc.ranges;
+    graph = ConnectivityGraph::build(ds.meta, query.left_table,
+                                     query.right_table, query.join_attrs,
+                                     query.ranges);
+  }
+
+  /// Runs one algorithm, optionally under a fault plan. Exceptions
+  /// propagate to the caller (sweeps catch them to record the seed).
+  QesResult run(bool indexed_join, const fault::FaultPlan* plan = nullptr,
+                const QesOptions& options = {}) {
+    sim::Engine engine;
+    Cluster cluster(engine, sc.cspec);
+    BdsService bds(cluster, ds.meta, ds.stores);
+    if (plan != nullptr) {
+      fault::FaultInjector inj(engine, *plan);
+      fault::ScopedInjector scoped(inj);
+      if (indexed_join) {
+        return run_indexed_join(cluster, bds, ds.meta, graph, query, options);
+      }
+      return run_grace_hash(cluster, bds, ds.meta, query, options);
+    }
+    if (indexed_join) {
+      return run_indexed_join(cluster, bds, ds.meta, graph, query, options);
+    }
+    return run_grace_hash(cluster, bds, ds.meta, query, options);
+  }
+
+  ReferenceResult hash_reference() {
+    return reference_join(ds.meta, ds.stores, query);
+  }
+  ReferenceResult nested_loop() {
+    return nested_loop_reference(ds.meta, ds.stores, query);
+  }
+};
+
+/// Failing-seed record: printed for one-command reproduction and appended
+/// to chaos_failures.txt (uploaded as a CI artifact).
+inline std::string describe_failure(const char* algo, std::uint64_t seed,
+                                    const fault::FaultPlan& plan,
+                                    const std::string& detail) {
+  std::string s = "chaos failure: algo=";
+  s += algo;
+  s += " seed=" + std::to_string(seed);
+  s += " plan=" + plan.to_string();
+  s += " detail=" + detail;
+  s += "\n  reproduce: ORV_CHAOS_SEED=" + std::to_string(seed) +
+       " ORV_CHAOS_N=1 ./tests/test_fault --gtest_filter='Chaos.*'";
+  return s;
+}
+
+inline void record_failure(const std::string& line) {
+  std::ofstream out("chaos_failures.txt", std::ios::app);
+  out << line << "\n";
+}
+
+}  // namespace orv::chaos

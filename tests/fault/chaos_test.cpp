@@ -1,0 +1,81 @@
+// Chaos sweeps: N seed-derived scenarios per algorithm, each executed
+// fault-free to establish the oracle and then under a seed-derived random
+// FaultPlan. Plans are survivable by construction, so every faulted run
+// must reproduce the fault-free fingerprint exactly; a plan that proves
+// unrecoverable anyway (FaultError) is also accepted as a clean outcome,
+// anything else — wrong rows, hang (caught by the engine's deadlock
+// detector), stray exception — fails the sweep and prints the seed for
+// one-command reproduction.
+//
+//   ORV_CHAOS_N     sweep width per algorithm (default 120 → 240 total)
+//   ORV_CHAOS_SEED  base seed (default 1000)
+
+#include <gtest/gtest.h>
+
+#include "../chaos_util.hpp"
+
+namespace orv {
+namespace {
+
+void chaos_sweep(bool indexed_join, const char* algo) {
+  const std::uint64_t n = chaos::env_u64("ORV_CHAOS_N", 120);
+  const std::uint64_t base = chaos::env_u64("ORV_CHAOS_SEED", 1000);
+  std::uint64_t degraded_runs = 0;
+  std::uint64_t clean_failures = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seed = base + i;
+    chaos::ChaosRig rig(seed);
+    const fault::FaultPlan plan = fault::FaultPlan::chaos(
+        seed, rig.sc.cspec.num_storage, rig.sc.cspec.num_compute);
+
+    QesResult baseline;
+    try {
+      baseline = rig.run(indexed_join);
+    } catch (const std::exception& e) {
+      const std::string line = chaos::describe_failure(
+          algo, seed, plan, std::string("fault-free run threw: ") + e.what());
+      chaos::record_failure(line);
+      ADD_FAILURE() << line;
+      continue;
+    }
+
+    try {
+      const QesResult faulted = rig.run(indexed_join, &plan);
+      if (faulted.result_fingerprint != baseline.result_fingerprint ||
+          faulted.result_tuples != baseline.result_tuples) {
+        const std::string line = chaos::describe_failure(
+            algo, seed, plan,
+            "result mismatch: fault-free " + baseline.to_string() +
+                " vs faulted " + faulted.to_string());
+        chaos::record_failure(line);
+        ADD_FAILURE() << line;
+        continue;
+      }
+      if (faulted.degraded) ++degraded_runs;
+    } catch (const fault::FaultError&) {
+      // Clean, reported inability to complete — acceptable (e.g. the retry
+      // budget genuinely exhausted under a hostile io-error rate).
+      ++clean_failures;
+    } catch (const std::exception& e) {
+      const std::string line = chaos::describe_failure(
+          algo, seed, plan, std::string("unexpected exception: ") + e.what());
+      chaos::record_failure(line);
+      ADD_FAILURE() << line;
+    }
+  }
+  // The sweep must actually exercise recovery, not coast on no-op plans.
+  if (n >= 20) {
+    EXPECT_GT(degraded_runs, 0u)
+        << algo << ": no chaos run was degraded across " << n << " seeds";
+  }
+  std::printf("[chaos] %s: %llu seeds, %llu degraded, %llu clean failures\n",
+              algo, (unsigned long long)n, (unsigned long long)degraded_runs,
+              (unsigned long long)clean_failures);
+}
+
+TEST(Chaos, IndexedJoinSweep) { chaos_sweep(true, "indexed_join"); }
+
+TEST(Chaos, GraceHashSweep) { chaos_sweep(false, "grace_hash"); }
+
+}  // namespace
+}  // namespace orv

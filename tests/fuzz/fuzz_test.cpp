@@ -3,7 +3,13 @@
 //    connectivity graph, and both QES must match the reference join;
 //  - random query strings: the parser either parses or throws
 //    InvalidArgument with a position — never crashes or misparses;
-//  - random chunk-byte corruption: always FormatError, never UB.
+//  - random chunk-byte corruption: always FormatError, never UB;
+//  - forged-but-checksummed chunk headers (overflowing row counts, NaN
+//    bounds, dimension mismatches): always FormatError, never UB;
+//  - random (including degenerate) bounding boxes through the extractor
+//    round-trip and the R-tree: queries must match a brute-force scan.
+
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +20,7 @@
 #include "graph/connectivity.hpp"
 #include "qes/qes.hpp"
 #include "query/parser.hpp"
+#include "rtree/rtree.hpp"
 #include "sim/engine.hpp"
 
 namespace orv {
@@ -190,6 +197,209 @@ TEST(FuzzChunk, RandomTruncationAlwaysFormatError) {
     const std::size_t keep = rng.below(clean.size());  // < full size
     std::span<const std::byte> cut(clean.data(), keep);
     EXPECT_THROW(extract_chunk(cut), FormatError) << "keep=" << keep;
+  }
+}
+
+/// Draws a possibly-degenerate interval: finite, point, inverted (empty),
+/// or infinite endpoints.
+Interval fuzz_interval(Xoshiro256StarStar& rng) {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (rng.below(6)) {
+    case 0: return {-inf, rng.uniform(-100.0, 100.0)};
+    case 1: return {rng.uniform(-100.0, 100.0), inf};
+    case 2: return {-inf, inf};
+    case 3: {  // inverted → empty
+      const double v = rng.uniform(-100.0, 100.0);
+      return {v + 1 + rng.uniform01(), v};
+    }
+    case 4: {  // point
+      const double v = rng.uniform(-100.0, 100.0);
+      return {v, v};
+    }
+    default: {
+      double lo = rng.uniform(-100.0, 100.0);
+      double hi = rng.uniform(-100.0, 100.0);
+      if (lo > hi) std::swap(lo, hi);
+      return {lo, hi};
+    }
+  }
+}
+
+TEST(FuzzChunkMeta, ForgedRowCountsNeverReachTheExtractor) {
+  // encode_chunk happily writes any internally-consistent-looking header
+  // with a valid CRC, so a forged num_rows arrives "uncorrupted" — the
+  // decoder's cross-field validation is the only line of defense. A row
+  // count chosen so num_rows * record_size wraps to the true payload size
+  // must not sail through into the extractor's allocation.
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"v", AttrType::Int32}});
+  SubTable st(schema, SubTableId{1, 0});
+  for (int i = 0; i < 16; ++i) {
+    const Value vals[] = {Value(float(i)), Value(i)};
+    st.append_values(vals);
+  }
+  st.compute_bounds();
+
+  const std::size_t rs = schema->record_size();
+  ChunkHeader h;
+  h.layout = LayoutId::ColMajor;
+  h.table = 1;
+  h.chunk = 0;
+  h.schema = *schema;
+  h.bounds = st.bounds();
+  const auto payload =
+      ExtractorRegistry::global().for_layout(LayoutId::ColMajor).encode(st);
+  h.payload_size = payload.size();
+
+  // num_rows * rs ≡ payload_size (mod 2^64) but num_rows is absurd.
+  h.num_rows = payload.size() / rs +
+               (std::numeric_limits<std::uint64_t>::max() / rs + 1);
+  EXPECT_THROW(extract_chunk(encode_chunk(h, payload)), FormatError);
+
+  // Sanity: the honest row count still round-trips.
+  h.num_rows = payload.size() / rs;
+  EXPECT_NO_THROW(extract_chunk(encode_chunk(h, payload)));
+}
+
+TEST(FuzzChunkMeta, ForgedHeadersAlwaysFormatErrorNeverCrash) {
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"v", AttrType::Int32}});
+  SubTable st(schema, SubTableId{1, 0});
+  for (int i = 0; i < 8; ++i) {
+    const Value vals[] = {Value(float(i)), Value(i)};
+    st.append_values(vals);
+  }
+  st.compute_bounds();
+  const auto payload =
+      ExtractorRegistry::global().for_layout(LayoutId::RowMajor).encode(st);
+
+  ChunkHeader good;
+  good.layout = LayoutId::RowMajor;
+  good.table = 1;
+  good.schema = *schema;
+  good.bounds = st.bounds();
+  good.num_rows = st.num_rows();
+  good.payload_size = payload.size();
+  ASSERT_NO_THROW(extract_chunk(encode_chunk(good, payload)));
+
+  {  // bounds dimensionality disagrees with the schema
+    ChunkHeader h = good;
+    h.bounds = Rect(3);
+    EXPECT_THROW(extract_chunk(encode_chunk(h, payload)), FormatError);
+  }
+  {  // NaN-poisoned bounds
+    ChunkHeader h = good;
+    Rect b = good.bounds;
+    b[0].lo = std::numeric_limits<double>::quiet_NaN();
+    h.bounds = b;
+    EXPECT_THROW(extract_chunk(encode_chunk(h, payload)), FormatError);
+  }
+  {  // row count off by one
+    ChunkHeader h = good;
+    h.num_rows = good.num_rows + 1;
+    EXPECT_THROW(extract_chunk(encode_chunk(h, payload)), FormatError);
+  }
+  {  // payload not a whole number of records
+    ChunkHeader h = good;
+    h.payload_size = payload.size() - 1;
+    auto cut = payload;
+    cut.pop_back();
+    EXPECT_THROW(extract_chunk(encode_chunk(h, cut)), FormatError);
+  }
+}
+
+TEST(FuzzChunkMeta, RandomBoundsRoundTripThroughExtractor) {
+  // Header bounds are carried opaquely: whatever (non-NaN) box the writer
+  // recorded — empty, inverted, infinite — must come back bit-identical.
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"v", AttrType::Int32}});
+  Xoshiro256StarStar rng(60601);
+  for (int trial = 0; trial < 200; ++trial) {
+    SubTable st(schema, SubTableId{1, static_cast<ChunkId>(trial)});
+    const int rows = static_cast<int>(rng.below(32));
+    for (int i = 0; i < rows; ++i) {
+      const Value vals[] = {Value(float(i)), Value(i)};
+      st.append_values(vals);
+    }
+    Rect bounds(2);
+    bounds[0] = fuzz_interval(rng);
+    bounds[1] = fuzz_interval(rng);
+    st.set_bounds(bounds);
+    const auto layout = static_cast<LayoutId>(rng.below(3));
+    const SubTable back = extract_chunk(make_chunk(st, layout));
+    ASSERT_EQ(back.bounds(), bounds) << "trial=" << trial;
+    ASSERT_EQ(back.num_rows(), st.num_rows());
+  }
+}
+
+TEST(FuzzRtree, DegenerateBoxesQueryMatchesBruteForce) {
+  Xoshiro256StarStar rng(272727);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dims = 1 + rng.below(3);
+    const std::size_t n = 1 + rng.below(200);
+    std::vector<std::pair<Rect, std::uint64_t>> boxes;
+    for (std::size_t i = 0; i < n; ++i) {
+      Rect b(dims);
+      for (std::size_t d = 0; d < dims; ++d) b[d] = fuzz_interval(rng);
+      boxes.emplace_back(std::move(b), i);
+    }
+
+    RTree bulk(dims, 4 + rng.below(13));
+    bulk.bulk_load(boxes);
+    RTree incremental(dims, 4 + rng.below(13));
+    for (const auto& [b, v] : boxes) incremental.insert(b, v);
+    ASSERT_EQ(bulk.size(), n);
+    ASSERT_EQ(incremental.size(), n);
+
+    for (int q = 0; q < 20; ++q) {
+      Rect range(dims);
+      for (std::size_t d = 0; d < dims; ++d) range[d] = fuzz_interval(rng);
+      std::vector<std::uint64_t> expected;
+      for (const auto& [b, v] : boxes) {
+        if (range.overlaps(b)) expected.push_back(v);
+      }
+      auto got_bulk = bulk.query(range);
+      auto got_inc = incremental.query(range);
+      std::sort(expected.begin(), expected.end());
+      std::sort(got_bulk.begin(), got_bulk.end());
+      std::sort(got_inc.begin(), got_inc.end());
+      ASSERT_EQ(got_bulk, expected) << "trial=" << trial << " q=" << q;
+      ASSERT_EQ(got_inc, expected) << "trial=" << trial << " q=" << q;
+    }
+  }
+}
+
+TEST(FuzzRtree, ExtractedChunkBoundsBuildAQueryableIndex) {
+  // End-to-end: chunk bounds that survived the extractor round-trip feed
+  // an R-tree build, and range queries agree with a brute-force scan —
+  // the MetaData Service's actual lookup path under adversarial bounds.
+  auto schema = Schema::make({{"x", AttrType::Float32},
+                              {"y", AttrType::Float32}});
+  Xoshiro256StarStar rng(818181);
+  std::vector<std::pair<Rect, std::uint64_t>> entries;
+  for (std::uint64_t c = 0; c < 150; ++c) {
+    SubTable st(schema, SubTableId{1, static_cast<ChunkId>(c)});
+    Rect bounds(2);
+    bounds[0] = fuzz_interval(rng);
+    bounds[1] = fuzz_interval(rng);
+    st.set_bounds(bounds);
+    const SubTable back = extract_chunk(make_chunk(st, LayoutId::RowMajor));
+    entries.emplace_back(back.bounds(), c);
+  }
+  RTree tree(2);
+  tree.bulk_load(entries);
+  for (int q = 0; q < 50; ++q) {
+    Rect range(2);
+    range[0] = fuzz_interval(rng);
+    range[1] = fuzz_interval(rng);
+    std::vector<std::uint64_t> expected;
+    for (const auto& [b, v] : entries) {
+      if (range.overlaps(b)) expected.push_back(v);
+    }
+    auto got = tree.query(range);
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "q=" << q;
   }
 }
 
