@@ -149,8 +149,18 @@ inline ScenarioResult run_scenario(Scenario sc) {
   out.params = CostParams::from(
       sc.cluster, ds.stats, table1_schema(sc.data)->record_size(),
       table2_schema(sc.data)->record_size(), 1.0 / sc.cpu_work_factor);
-  out.model_ij = ij_cost(out.params);
-  out.model_gh = gh_cost(out.params);
+  out.params.batch_bytes = static_cast<double>(sc.options.batch_bytes);
+  out.params.bucket_pair_bytes =
+      static_cast<double>(sc.options.bucket_pair_bytes);
+  out.params.prefetch_lookahead =
+      static_cast<double>(sc.options.prefetch_lookahead);
+  // Pipelined execution gets the matching max-of-stages models, so the
+  // PlanValidation error the profile records stays meaningful.
+  out.model_ij = sc.options.prefetch_lookahead > 0
+                     ? ij_cost_pipelined(out.params)
+                     : ij_cost(out.params);
+  out.model_gh = sc.options.gh_double_buffer ? gh_cost_pipelined(out.params)
+                                             : gh_cost(out.params);
   out.planned = out.model_ij.total() <= out.model_gh.total()
                     ? Algorithm::IndexedJoin
                     : Algorithm::GraceHash;
@@ -190,6 +200,55 @@ inline ScenarioResult run_scenario(Scenario sc) {
                      : run();
   }
   return out;
+}
+
+/// Serial-vs-pipelined series emitter: each fig bench that supports it
+/// accepts `--out <path.json>` and writes {"figure":..., "rows":[...]} so
+/// the repo can commit reference BENCH_*.json snapshots.
+class SeriesJson {
+ public:
+  explicit SeriesJson(std::string figure) : figure_(std::move(figure)) {}
+
+  void add_row(std::string row_json) { rows_.push_back(std::move(row_json)); }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\"figure\":\"" + figure_ + "\",\"rows\":[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "  " + rows_[i];
+      if (i + 1 < rows_.size()) out += ',';
+      out += '\n';
+    }
+    out += "]}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string figure_;
+  std::vector<std::string> rows_;
+};
+
+/// Parses the optional `--out <path>` argument shared by the fig benches.
+inline std::string parse_out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") return argv[i + 1];
+  }
+  return {};
+}
+
+/// The standard pipelined configuration the serial-vs-pipelined series
+/// compare against: bounded prefetch in IJ, double-buffered spills in GH.
+inline QesOptions pipelined_options() {
+  QesOptions o;
+  o.prefetch_lookahead = 4;
+  o.gh_double_buffer = true;
+  return o;
 }
 
 inline void print_banner(const char* figure, const char* description) {

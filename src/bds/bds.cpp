@@ -173,6 +173,91 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
   co_return st;
 }
 
+sim::Task<std::vector<std::shared_ptr<const SubTable>>>
+BdsInstance::fetch_batch_to_compute(std::vector<SubTableId> ids,
+                                    std::size_t compute_node,
+                                    const std::vector<AttrRange>* ranges) {
+  ORV_REQUIRE(!ids.empty(), "batch fetch needs at least one id");
+  obs::StageScope stage(obs::context(), "bds.fetch");
+  stage.tag("storage_node", static_cast<std::uint64_t>(node_));
+  stage.tag("compute_node", static_cast<std::uint64_t>(compute_node));
+  stage.tag("batch", static_cast<std::uint64_t>(ids.size()));
+
+  // Sort a view of the batch by on-disk position to find coalescable runs;
+  // results are still returned in the caller's order.
+  std::vector<const ChunkMeta*> by_pos;
+  by_pos.reserve(ids.size());
+  for (const auto& id : ids) {
+    const ChunkMeta& cm = meta_.chunk(id);
+    ORV_REQUIRE(cm.location.storage_node == node_,
+                "BDS instance asked for a chunk on another node: " +
+                    cm.location.to_string());
+    by_pos.push_back(&cm);
+  }
+  std::sort(by_pos.begin(), by_pos.end(),
+            [](const ChunkMeta* a, const ChunkMeta* b) {
+              if (a->location.file_no != b->location.file_no) {
+                return a->location.file_no < b->location.file_no;
+              }
+              return a->location.offset < b->location.offset;
+            });
+
+  // One disk reservation per adjacent run: a run pays a single seek, and
+  // the spindle's FCFS queue serializes the runs, so the last reservation
+  // is the batch's read completion time.
+  sim::Time read_done = cluster_.engine().now();
+  std::uint64_t num_runs = 0;
+  for (std::size_t i = 0; i < by_pos.size();) {
+    double run_bytes = static_cast<double>(by_pos[i]->location.size);
+    std::size_t j = i + 1;
+    while (j < by_pos.size() &&
+           by_pos[j]->location.file_no == by_pos[j - 1]->location.file_no &&
+           by_pos[j - 1]->location.offset + by_pos[j - 1]->location.size ==
+               by_pos[j]->location.offset) {
+      run_bytes += static_cast<double>(by_pos[j]->location.size);
+      ++j;
+    }
+    read_done = cluster_.storage_disk(node_).reserve_read(run_bytes);
+    ++num_runs;
+    i = j;
+  }
+
+  // The real reads + extraction, and the virtual charges for them.
+  std::vector<std::shared_ptr<const SubTable>> out;
+  out.reserve(ids.size());
+  double extract_bytes = 0;
+  double shipped_bytes = 0;
+  for (const auto& id : ids) {
+    const ChunkMeta& cm = meta_.chunk(id);
+    const auto chunk_bytes = store_->read(cm.location);
+    extract_bytes += static_cast<double>(chunk_bytes.size());
+    auto st = std::make_shared<const SubTable>(extract_chunk(chunk_bytes));
+    ORV_CHECK(st->id() == id, "extracted sub-table id mismatch");
+    if (ranges != nullptr && !ranges->empty()) {
+      st = std::make_shared<const SubTable>(filter_subtable(*st, *ranges));
+    }
+    shipped_bytes += static_cast<double>(st->size_bytes());
+    ++stats_.subtables_served;
+    stats_.chunk_bytes_read += cm.location.size;
+    stats_.subtable_bytes_shipped += st->size_bytes();
+    publish_bds(cm.location.size, st->size_bytes());
+    out.push_back(std::move(st));
+  }
+
+  const sim::Time extract_done = cluster_.storage_cpu(node_).reserve(
+      extract_ops_per_byte_ * extract_bytes);
+  const sim::Time sent =
+      cluster_.reserve_transfer(node_, compute_node, shipped_bytes);
+  co_await cluster_.engine().wait_until(
+      std::max(read_done, std::max(extract_done, sent)));
+
+  if (auto* ctx = obs::context()) {
+    ctx->registry.counter("bds.coalesced_runs").add(num_runs);
+    ctx->registry.counter("bds.coalesced_chunks").add(ids.size());
+  }
+  co_return out;
+}
+
 BdsService::BdsService(Cluster& cluster, const MetaDataService& meta,
                        std::vector<std::shared_ptr<ChunkStore>> stores,
                        double extract_ops_per_byte)

@@ -51,6 +51,18 @@ class BdsInstance {
       SubTableId id, std::size_t compute_node,
       const std::vector<AttrRange>* ranges = nullptr);
 
+  /// Batched fetch_to_compute over several of this node's chunks, for the
+  /// pipelined prefetcher: chunk reads that are adjacent on disk (same
+  /// file, contiguous offsets — datagen appends a table's chunks in order,
+  /// so this is common) coalesce into one multi-chunk disk reservation,
+  /// paying one seek per run instead of one per chunk. Extraction and the
+  /// network ship are likewise reserved once for the batch total. Results
+  /// come back in the order of `ids`. Not fault-aware: callers fall back
+  /// to per-id fetches when an injector is installed.
+  sim::Task<std::vector<std::shared_ptr<const SubTable>>>
+  fetch_batch_to_compute(std::vector<SubTableId> ids, std::size_t compute_node,
+                         const std::vector<AttrRange>* ranges = nullptr);
+
  private:
   Cluster& cluster_;
   std::size_t node_;

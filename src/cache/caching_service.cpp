@@ -23,7 +23,7 @@ CachingService::CachingService(std::uint64_t capacity_bytes,
 std::shared_ptr<const SubTable> CachingService::get(SubTableId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
-  if (it == map_.end()) {
+  if (it == map_.end() || it->second->doomed) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
     publish("cache.misses");
     return nullptr;
@@ -40,20 +40,38 @@ std::shared_ptr<const BuiltHashTable> CachingService::get_hash_table(
     SubTableId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end() || it->second->doomed) return nullptr;
   return it->second->hash_table;
 }
 
 void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
   ORV_REQUIRE(table != nullptr, "cannot cache a null sub-table");
   std::lock_guard<std::mutex> lock(mu_);
+  put_locked(id, std::move(table));
+}
+
+void CachingService::put_pinned(SubTableId id,
+                                std::shared_ptr<const SubTable> table) {
+  ORV_REQUIRE(table != nullptr, "cannot cache a null sub-table");
+  std::lock_guard<std::mutex> lock(mu_);
+  put_locked(id, std::move(table));
+  ++map_.find(id)->second->pins;
+}
+
+void CachingService::put_locked(SubTableId id,
+                                std::shared_ptr<const SubTable> table) {
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   publish("cache.puts");
   auto it = map_.find(id);
   if (it != map_.end()) {
-    // Replace in place, adjusting accounting.
+    // Replace in place, adjusting accounting. Fresh bytes supersede a doom
+    // mark (and the hash table built on the suspect bytes).
     used_bytes_ -= it->second->bytes();
     it->second->table = std::move(table);
+    if (it->second->doomed) {
+      it->second->doomed = false;
+      it->second->hash_table = nullptr;
+    }
     used_bytes_ += it->second->bytes();
     if (policy_ == CachePolicy::LRU) {
       order_.splice(order_.end(), order_, it->second);
@@ -71,11 +89,40 @@ void CachingService::put(SubTableId id, std::shared_ptr<const SubTable> table) {
   used_bytes_ += incoming;
 }
 
+bool CachingService::pin(SubTableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  if (it == map_.end() || it->second->doomed) return false;
+  ++it->second->pins;
+  if (policy_ == CachePolicy::LRU) {
+    order_.splice(order_.end(), order_, it->second);
+  }
+  return true;
+}
+
+void CachingService::unpin(SubTableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(id);
+  ORV_CHECK(it != map_.end(), "unpin of an id not in the cache");
+  ORV_CHECK(it->second->pins > 0, "unpin without a matching pin");
+  if (--it->second->pins == 0 && it->second->doomed) {
+    remove_entry(it->second);
+  }
+}
+
+std::uint64_t CachingService::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& e : order_) n += e.pins;
+  return n;
+}
+
 void CachingService::attach_hash_table(
     SubTableId id, std::shared_ptr<const BuiltHashTable> ht) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
-  if (it == map_.end()) return;  // entry already evicted; drop silently
+  // Entry evicted (or doomed — its bytes are suspect): drop silently.
+  if (it == map_.end() || it->second->doomed) return;
   used_bytes_ -= it->second->bytes();
   it->second->hash_table = std::move(ht);
   used_bytes_ += it->second->bytes();
@@ -85,38 +132,52 @@ void CachingService::attach_hash_table(
 bool CachingService::invalidate(SubTableId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(id);
-  if (it == map_.end()) return false;
-  used_bytes_ -= it->second->bytes();
-  order_.erase(it->second);
-  map_.erase(it);
+  if (it == map_.end() || it->second->doomed) return false;
   stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
   publish("cache.invalidations");
+  if (it->second->pins > 0) {
+    // Someone prefetched this entry and is about to use it: stop serving
+    // it, but defer the removal until the last pin is released.
+    it->second->doomed = true;
+    return true;
+  }
+  remove_entry(it->second);
   return true;
 }
 
 void CachingService::evict_until_fits(std::uint64_t incoming_bytes) {
-  // Never evict the entry being inserted; stop when the cache is empty even
-  // if a single huge entry exceeds capacity.
-  while (!order_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
-    evict_one();
+  // Evict in recency order, skipping pinned entries (a prefetched
+  // sub-table must survive until its consumer releases it, even if that
+  // temporarily overshoots capacity). Never evict the entry being
+  // inserted; stop once everything left is pinned.
+  auto it = order_.begin();
+  while (it != order_.end() &&
+         used_bytes_ + incoming_bytes > capacity_bytes_) {
+    if (it->pins > 0) {
+      ++it;
+      continue;
+    }
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_evicted.fetch_add(it->bytes(), std::memory_order_relaxed);
+    if (auto* ctx = obs::context()) {
+      ctx->registry.counter("cache.evictions").add(1);
+      ctx->registry.counter("cache.bytes_evicted").add(it->bytes());
+    }
+    used_bytes_ -= it->bytes();
+    map_.erase(it->id);
+    it = order_.erase(it);
   }
 }
 
-void CachingService::evict_one() {
-  ORV_CHECK(!order_.empty(), "evict from an empty cache");
-  Entry& victim = order_.front();
-  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_evicted.fetch_add(victim.bytes(), std::memory_order_relaxed);
-  if (auto* ctx = obs::context()) {
-    ctx->registry.counter("cache.evictions").add(1);
-    ctx->registry.counter("cache.bytes_evicted").add(victim.bytes());
-  }
-  used_bytes_ -= victim.bytes();
-  map_.erase(victim.id);
-  order_.pop_front();
+void CachingService::remove_entry(std::list<Entry>::iterator it) {
+  used_bytes_ -= it->bytes();
+  map_.erase(it->id);
+  order_.erase(it);
 }
 
 void CachingService::clear() {
+  // Drops everything, pins included: callers only clear between queries,
+  // when no prefetcher holds references.
   std::lock_guard<std::mutex> lock(mu_);
   order_.clear();
   map_.clear();

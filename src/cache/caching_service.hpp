@@ -7,6 +7,13 @@
 //
 // Entries may carry the hash table built on a left sub-table, so the
 // Indexed Join builds each hash table only once (paper Section 5.1).
+//
+// Pinning: the pipelined Indexed Join prefetches sub-tables ahead of the
+// join loop and pins them so eviction cannot undo a prefetch before the
+// consumer reaches it. Pins are counted (one per prefetched pair
+// occurrence); pinned entries are skipped by eviction, and invalidate() on
+// a pinned entry is deferred — the entry stops being served immediately
+// (doomed) but is only removed when the last pin is released.
 
 #include <atomic>
 #include <cstdint>
@@ -58,7 +65,25 @@ class CachingService {
   /// Inserts a sub-table, evicting per policy if over capacity. An entry
   /// larger than the whole capacity is admitted alone (and evicts
   /// everything else): the QES must be able to process it regardless.
+  /// Re-inserting a doomed id replaces the suspect bytes with fresh ones
+  /// and clears the doom mark (existing pins carry over).
   void put(SubTableId id, std::shared_ptr<const SubTable> table);
+
+  /// put() followed by pin() under one lock: the prefetcher's insert
+  /// cannot race an eviction between the two.
+  void put_pinned(SubTableId id, std::shared_ptr<const SubTable> table);
+
+  /// Takes one pin on an existing entry (refreshing LRU recency). Returns
+  /// false when the id is absent or doomed — the caller must fetch.
+  /// Not a lookup: hit/miss counters are untouched.
+  bool pin(SubTableId id);
+
+  /// Releases one pin. The id must hold a pin; when the last pin of a
+  /// doomed entry is released the entry is removed.
+  void unpin(SubTableId id);
+
+  /// Pins currently outstanding across all entries (test/debug aid).
+  std::uint64_t pinned_count() const;
 
   /// Attaches a built hash table to an existing entry (no-op if the entry
   /// was evicted in between); its bytes count against capacity.
@@ -66,12 +91,15 @@ class CachingService {
                          std::shared_ptr<const BuiltHashTable> ht);
 
   /// Drops an entry outright (e.g. its source failed a re-fetch, so the
-  /// cached copy is suspect). Returns true if an entry was removed.
+  /// cached copy is suspect). A pinned entry is doomed instead: no longer
+  /// served by get()/contains(), removed when its last pin is released.
+  /// Returns true if an entry was removed or doomed.
   bool invalidate(SubTableId id);
 
   bool contains(SubTableId id) const {
     std::lock_guard<std::mutex> lock(mu_);
-    return map_.count(id) > 0;
+    auto it = map_.find(id);
+    return it != map_.end() && !it->second->doomed;
   }
   std::size_t num_entries() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -100,6 +128,8 @@ class CachingService {
     SubTableId id;
     std::shared_ptr<const SubTable> table;
     std::shared_ptr<const BuiltHashTable> hash_table;
+    std::uint32_t pins = 0;
+    bool doomed = false;  // invalidated while pinned; removed at unpin
 
     std::uint64_t bytes() const {
       return table->size_bytes() + (hash_table ? hash_table->table_bytes() : 0);
@@ -115,8 +145,9 @@ class CachingService {
     std::atomic<std::uint64_t> invalidations{0};
   };
 
+  void put_locked(SubTableId id, std::shared_ptr<const SubTable> table);
   void evict_until_fits(std::uint64_t incoming_bytes);
-  void evict_one();
+  void remove_entry(std::list<Entry>::iterator it);
 
   std::uint64_t capacity_bytes_;
   CachePolicy policy_;

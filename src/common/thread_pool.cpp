@@ -1,5 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace orv {
@@ -49,32 +51,40 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_indices() {
   while (true) {
-    std::size_t index;
+    std::size_t begin, end;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (next_index_ >= job_size_ || first_exception_) return;
-      index = next_index_++;
+      begin = next_index_;
+      end = std::min(job_size_, begin + grain_);
+      next_index_ = end;
     }
+    // A mid-chunk exception abandons the chunk's remaining indices, but
+    // they were dispatched, so they still count toward completed_ — the
+    // done condition stays completed_ == next_index_.
     try {
-      (*job_fn_)(index);
+      for (std::size_t i = begin; i < end; ++i) (*job_fn_)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_exception_) first_exception_ = std::current_exception();
-      ++completed_;
+      completed_ += end - begin;
       continue;
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    ++completed_;
+    completed_ += end - begin;
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (n == 0) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ORV_CHECK(job_fn_ == nullptr, "parallel_for is not reentrant");
     job_size_ = n;
+    grain_ = grain != 0 ? grain
+                        : std::max<std::size_t>(1, n / (8 * num_threads()));
     job_fn_ = &fn;
     next_index_ = 0;
     completed_ = 0;

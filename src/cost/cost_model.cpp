@@ -1,6 +1,7 @@
 #include "cost/cost_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
@@ -32,6 +33,7 @@ CostParams CostParams::from(const ClusterSpec& cluster,
   p.alpha_build = hw.alpha_build() / cpu_factor;
   p.alpha_lookup = hw.alpha_lookup() / cpu_factor;
   p.shared_filesystem = cluster.shared_filesystem;
+  p.memory_bytes = static_cast<double>(hw.memory_bytes);
   return p;
 }
 
@@ -75,6 +77,49 @@ CostBreakdown gh_cost(const CostParams& p) {
   return c;
 }
 
+namespace {
+
+/// Overlap saved when two serial stages of cost a and b run pipelined over
+/// `units` work items: serial a + b becomes max(a, b) + min(a, b) / units
+/// (the fill term — the first item's shorter stage cannot hide behind
+/// anything), so the saving is min(a, b) * (1 - 1/units).
+double stage_overlap(double a, double b, double units) {
+  const double u = std::max(1.0, units);
+  return std::min(a, b) * (1.0 - 1.0 / u);
+}
+
+}  // namespace
+
+CostBreakdown ij_cost_pipelined(const CostParams& p) {
+  CostBreakdown c = ij_cost(p);
+  // Each joiner processes ~n_e / n_j scheduled pairs; the prefetcher keeps
+  // the pair stream's transfer hidden behind build/probe of earlier pairs.
+  // A depth-L channel can only smooth fetch bursts over an L-pair window,
+  // so the achievable overlap scales by L / (L + 1) — 0 at L = 0 (this
+  // model then coincides with ij_cost), asymptotically full as L grows.
+  const double L = std::max(0.0, p.prefetch_lookahead);
+  c.overlap =
+      L / (L + 1.0) * stage_overlap(c.transfer, c.cpu(), p.n_e / p.n_j);
+  return c;
+}
+
+CostBreakdown gh_cost_pipelined(const CostParams& p) {
+  CostBreakdown c = gh_cost(p);
+  // Phase 1: the spill for batch k is written while batch k+1 streams in.
+  const double per_node_bytes = total_bytes(p) / p.n_j;
+  const double n_batches = per_node_bytes / std::max(1.0, p.batch_bytes);
+  c.overlap = stage_overlap(c.transfer, c.write, n_batches);
+  // Phase 2: bucket k+1's scratch read is issued while bucket k joins.
+  // Bucket count exactly as run_grace_hash derives it (Section 4.2: a
+  // bucket pair must fit in half the joiner's memory).
+  const double target = p.bucket_pair_bytes > 0 ? p.bucket_pair_bytes
+                                                : p.memory_bytes / 2;
+  const double n_buckets =
+      target > 0 ? std::floor(per_node_bytes / target) + 1 : 1;
+  c.overlap += stage_overlap(c.read, c.cpu(), n_buckets);
+  return c;
+}
+
 bool ij_preferred(const CostParams& p) {
   return ij_cost(p).total() <= gh_cost(p).total();
 }
@@ -112,10 +157,12 @@ std::string CostParams::to_string() const {
 }
 
 std::string CostBreakdown::to_string() const {
-  return strformat(
+  std::string s = strformat(
       "total=%.3fs (transfer=%.3f write=%.3f read=%.3f build=%.3f "
-      "lookup=%.3f)",
+      "lookup=%.3f",
       total(), transfer, write, read, cpu_build, cpu_lookup);
+  if (overlap > 0) s += strformat(" overlap=-%.3f", overlap);
+  return s + ")";
 }
 
 }  // namespace orv

@@ -16,6 +16,19 @@
 // In shared-filesystem mode (Fig. 9) a single NFS server replaces the n_s
 // local disks and the n_j scratch disks, so the aggregate I/O bandwidth
 // terms lose their node multipliers.
+//
+// Pipelined variants (QesOptions::pipelined()): when the executor overlaps
+// fetch with compute, serial sums become max-of-stages plus a pipeline-fill
+// term — the first work unit cannot overlap with anything, so the shorter
+// stage is paid once for it:
+//
+//   Total_IJ_pipe = max(Transfer, Cpu) + min(Transfer, Cpu) / units
+//     with units = pairs per joiner = max(1, n_e / n_j)
+//   Total_GH_pipe = max(Transfer, Write) + min(...)/batches   (phase 1)
+//                 + max(Read, Cpu)       + min(...)/buckets   (phase 2)
+//
+// The overlap is carried in CostBreakdown::overlap so the per-stage terms
+// stay comparable with the serial models.
 
 #include <cstdint>
 #include <string>
@@ -46,6 +59,13 @@ struct CostParams {
 
   bool shared_filesystem = false;
 
+  // Pipelined-model parameters (only read by the *_pipelined models; the
+  // serial models ignore them). Defaults mirror QesOptions.
+  double memory_bytes = 0;       // per-joiner memory, sizes GH buckets
+  double batch_bytes = 64 * 1024;       // GH record batch per message
+  double bucket_pair_bytes = 0;  // 0 derives from memory_bytes / 2
+  double prefetch_lookahead = 0;  // IJ channel depth (0 = serial)
+
   double m_S() const { return T / c_S; }  // number of right sub-tables
   double edge_ratio() const { return n_e * c_R * c_S / (T * T); }
 
@@ -67,14 +87,35 @@ struct CostBreakdown {
   double read = 0;    // GH only
   double cpu_build = 0;
   double cpu_lookup = 0;
+  /// Time hidden by fetch/compute overlap; the serial models leave it 0.
+  double overlap = 0;
 
   double cpu() const { return cpu_build + cpu_lookup; }
-  double total() const { return transfer + write + read + cpu_build + cpu_lookup; }
+  double total() const {
+    return transfer + write + read + cpu_build + cpu_lookup - overlap;
+  }
   std::string to_string() const;
 };
 
 CostBreakdown ij_cost(const CostParams& p);
 CostBreakdown gh_cost(const CostParams& p);
+
+/// Pipelined Indexed Join (prefetch_lookahead > 0): the prefetcher hides
+/// transfer behind build/probe, so per-node time approaches
+/// max(Transfer, Cpu) plus a fill term of min(Transfer, Cpu) spread over
+/// the per-joiner pair count. The bounded channel limits how well bursty
+/// per-pair transfer demand (0–2 fetches per pair, depending on cache
+/// hits) smooths against compute, so the hidden time is further scaled by
+/// the finite-window factor L / (L + 1). Stage terms match ij_cost; the
+/// saving lands in `overlap` (0 when lookahead is 0, i.e. serial).
+CostBreakdown ij_cost_pipelined(const CostParams& p);
+
+/// Pipelined Grace Hash (gh_double_buffer): phase 1 double-buffers bucket
+/// spills against the network ingress (max(Transfer, Write)), phase 2
+/// overlaps the next bucket's scratch read with the current bucket's
+/// build/probe (max(Read, Cpu)). Fill terms use the per-joiner batch and
+/// bucket counts derived exactly as run_grace_hash derives them.
+CostBreakdown gh_cost_pipelined(const CostParams& p);
 
 /// True when the model prefers the Indexed Join.
 bool ij_preferred(const CostParams& p);

@@ -149,7 +149,8 @@ DistributedRun DistributedDds::execute(const ViewDef& top_view,
 
   DistributedRun run;
   run.graph_stats = graph.stats(meta_, query.left_table, query.right_table);
-  run.decision = planner_.plan(meta_, graph, query, options.cpu_work_factor);
+  run.decision = planner_.plan(meta_, graph, query, options.cpu_work_factor,
+                               &options);
 
   // Result schema of the raw join (before projection/aggregation).
   const auto left_schema = meta_.table_schema(query.left_table);

@@ -4,9 +4,12 @@
 // Phase 1 (partition): each storage node's QES reads its local chunks of
 // both tables, applies h1 to route record batches to compute nodes; each
 // compute node applies h2 to split received records into scratch-disk
-// buckets. The receiver charges network + bucket write per batch
-// sequentially, which is what makes the cost model's Transfer + Write terms
-// additive (Section 5.2).
+// buckets. By default the receiver charges network + bucket write per
+// batch sequentially, which is what makes the cost model's Transfer +
+// Write terms additive (Section 5.2). With QesOptions::gh_double_buffer
+// the spill of batch k overlaps the receive of batch k+1 (one outstanding
+// reservation), and phase 2 reserves the next bucket's read-back while the
+// CPU joins the current one — the pipelined cost model's max-of-stages.
 //
 // Phase 2 (bucket join): after a barrier, each compute node reads its
 // bucket pairs back and joins them in memory, independently of the network.
@@ -434,6 +437,10 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
       }
     }
   };
+  // Completion time of the last double-buffered spill reservation; the
+  // node awaits it before the round/phase boundary so "partition done"
+  // still means "every bucket byte is on scratch disk".
+  sim::Time spill_done = sh.cluster.engine().now();
   while (true) {
     while (true) {
       auto item = co_await sh.to_compute[node]->recv();
@@ -445,12 +452,26 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         batch_counter->add(1);
         batch_bytes_counter->add(batch.bytes.size());
       }
-      // Ingress then bucket write, serialized per batch: the additive
-      // Transfer + Write behaviour the paper's implementation exhibits.
-      co_await sh.cluster.compute_ingress(
-          node, static_cast<double>(batch.bytes.size()));
-      co_await scratch.write(static_cast<double>(batch.bytes.size()),
-                             static_cast<std::uint32_t>(node));
+      if (sh.options.gh_double_buffer) {
+        // Double-buffered spill: charge ingress, wait for the *previous*
+        // batch's spill to drain, then reserve (not await) this one — the
+        // scratch write proceeds while the next batch is received, so the
+        // phase pays max(Transfer, Write) instead of the sum. One
+        // outstanding write bounds the in-flight buffer to a batch.
+        co_await sh.cluster.compute_ingress(
+            node, static_cast<double>(batch.bytes.size()));
+        co_await sh.cluster.engine().wait_until(spill_done);
+        spill_done =
+            scratch.reserve_write(static_cast<double>(batch.bytes.size()),
+                                  static_cast<std::uint32_t>(node));
+      } else {
+        // Ingress then bucket write, serialized per batch: the additive
+        // Transfer + Write behaviour the paper's implementation exhibits.
+        co_await sh.cluster.compute_ingress(
+            node, static_cast<double>(batch.bytes.size()));
+        co_await scratch.write(static_cast<double>(batch.bytes.size()),
+                               static_cast<std::uint32_t>(node));
+      }
       if (spill_counter) spill_counter->add(batch.bytes.size());
 
       const JoinKey& key = batch.left ? left_key : right_key;
@@ -462,6 +483,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         buckets[b].insert(buckets[b].end(), row, row + rs);
       }
     }
+    co_await sh.cluster.engine().wait_until(spill_done);  // drain the buffer
     if (!inj) break;  // fault-free: one round, no barrier
     check_death();
     // count_down and the gate wait run with no suspension in between, so
@@ -486,15 +508,42 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   join_stage.tag("node", static_cast<std::uint64_t>(node));
   join_stage.tag("buckets", static_cast<std::uint64_t>(sh.n_buckets));
   ChunkId out_seq = 0;
+  // Double-buffered read-back: the next non-empty bucket's scratch read is
+  // reserved while the CPU joins the current one, so the phase pays
+  // max(Read, Cpu) + one read's fill instead of their sum per bucket.
+  std::vector<std::size_t> todo;
   for (std::size_t b = 0; b < sh.n_buckets; ++b) {
-    const double bucket_bytes = static_cast<double>(left_buckets[b].size() +
-                                                    right_buckets[b].size());
-    if (bucket_bytes == 0) continue;
+    if (!left_buckets[b].empty() || !right_buckets[b].empty()) {
+      todo.push_back(b);
+    }
+  }
+  auto bucket_size = [&](std::size_t b) {
+    return static_cast<double>(left_buckets[b].size() +
+                               right_buckets[b].size());
+  };
+  sim::Time next_read_done = sh.cluster.engine().now();
+  if (sh.options.gh_double_buffer && !todo.empty()) {
+    next_read_done =
+        scratch.reserve_read(bucket_size(todo[0]),
+                             static_cast<std::uint32_t>(node));
+  }
+  for (std::size_t t = 0; t < todo.size(); ++t) {
+    const std::size_t b = todo[t];
+    const double bucket_bytes = bucket_size(b);
     if (ctx) {
       ctx->registry.counter("gh.bucket_readback_bytes")
           .add(static_cast<std::uint64_t>(bucket_bytes));
     }
-    co_await scratch.read(bucket_bytes, static_cast<std::uint32_t>(node));
+    if (sh.options.gh_double_buffer) {
+      const sim::Time ready = next_read_done;
+      if (t + 1 < todo.size()) {
+        next_read_done = scratch.reserve_read(
+            bucket_size(todo[t + 1]), static_cast<std::uint32_t>(node));
+      }
+      co_await sh.cluster.engine().wait_until(ready);
+    } else {
+      co_await scratch.read(bucket_bytes, static_cast<std::uint32_t>(node));
+    }
 
     SubTable left(sh.left_schema, SubTableId{sh.query.left_table, 0});
     left.adopt_bytes(std::move(left_buckets[b]));

@@ -3,14 +3,33 @@
 // Each compute node runs one QES process over its scheduled pair list:
 // check the local Caching Service for each sub-table, fetch misses from the
 // owning BDS instance, build (and cache) a hash table per left sub-table,
-// probe with the right sub-table. Fetch and join serialize within a node,
-// matching the cost model's additive Transfer + Cpu decomposition.
+// probe with the right sub-table. By default fetch and join serialize
+// within a node, matching the cost model's additive Transfer + Cpu
+// decomposition.
+//
+// With QesOptions::prefetch_lookahead > 0 each node instead runs a
+// prefetcher coroutine that walks the pair list ahead of the join loop:
+// it fetches missing sub-tables from the BDS (coalescing adjacent chunk
+// reads when fault-free), *pins* them in the Caching Service so eviction
+// cannot undo a prefetch, and hands ready pair indices to the join loop
+// through a bounded channel (capacity = lookahead). The join loop then
+// overlaps Build/Probe with the prefetcher's Transfer, so per-node time
+// approaches max(Transfer, Cpu) — the pipelined cost model. Pins are
+// released when the consumer finishes a pair, or during the drain protocol
+// when a node dies / the prefetcher fails, so fault-reassignment never
+// leaks a pin into a persistent session cache.
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
+#include "sim/channel.hpp"
 #include "sim/engine.hpp"
 
 namespace orv {
@@ -57,6 +76,12 @@ struct IjShared {
   std::uint64_t fetch_retries = 0;
   std::uint64_t pairs_reassigned = 0;
   std::uint64_t compute_nodes_lost = 0;
+
+  // Pipelining accounting (zero on serial runs).
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_wasted = 0;
+  double fetch_busy = 0;     // virtual seconds prefetchers spent fetching
+  double consumer_wait = 0;  // virtual seconds join loops starved on recv
 
   // Per-node "ij.node" span ids; parents for fetch/build/probe spans.
   std::vector<obs::SpanId> node_spans;
@@ -121,6 +146,164 @@ sim::Task<std::shared_ptr<const SubTable>> fetch_subtable(
   }
 }
 
+/// Shared state between one node's prefetcher and its join loop.
+struct IjPrefetchState {
+  IjPrefetchState(sim::Engine& engine, std::size_t lookahead)
+      : ch(engine, lookahead) {}
+
+  /// Ready pair indices, in pair-list order; the bound IS the lookahead:
+  /// the prefetcher parks on send once it is `lookahead` pairs ahead.
+  sim::Channel<std::size_t> ch;
+  /// Set by the consumer (death, error): the prefetcher stops at the next
+  /// pair boundary, releases what it still holds, and closes the channel.
+  bool stop = false;
+  /// Prefetcher failure, rethrown by the consumer after the drain (unless
+  /// the node died first — then the pair is orphaned work, not an error).
+  std::exception_ptr error;
+  /// Pins taken by a coalesced batch on behalf of *future* pair
+  /// occurrences: when the walk reaches such an id it spends a credit
+  /// instead of pinning again. Unspent credits are released on shutdown.
+  std::unordered_map<SubTableId, std::uint32_t, SubTableIdHash> credits;
+};
+
+/// Ensures `id` (needed by pairs[pair_idx]) is resident and holds one pin
+/// for this pair occurrence. On a miss, fault-free runs batch the fetch
+/// with upcoming misses of the same storage node so adjacent chunk reads
+/// coalesce into one disk reservation; under fault injection every id goes
+/// through fetch_subtable's retry/backoff path individually.
+sim::Task<> ij_prefetch_fetch(IjShared& sh, std::size_t node, bool raw,
+                              CachingService& cache, IjPrefetchState& ps,
+                              const std::vector<SubTablePair>& pairs,
+                              std::size_t pair_idx, SubTableId id) {
+  if (auto it = ps.credits.find(id); it != ps.credits.end() && it->second > 0) {
+    --it->second;  // an earlier batch already pinned this occurrence
+    co_return;
+  }
+  if (cache.pin(id)) co_return;  // resident: pin is all we need
+  const double t0 = sh.cluster.engine().now();
+  if (fault::context() == nullptr && sh.options.coalesce_fetches) {
+    // Gather upcoming misses served by the same storage node within the
+    // lookahead window, then keep only the maximal on-disk-adjacent run
+    // containing `id`: those chunks coalesce into one disk reservation
+    // (one seek). Fetching non-adjacent ids together would save nothing
+    // and delay the current pair behind the whole batch's transfer.
+    const ChunkLocation& loc = sh.meta.chunk(id).location;
+    std::vector<const ChunkMeta*> cands;
+    std::unordered_set<SubTableId, SubTableIdHash> taken{id};
+    const std::size_t window_end =
+        std::min(pairs.size(), pair_idx + 1 + sh.options.prefetch_lookahead);
+    for (std::size_t k = pair_idx + 1; k < window_end; ++k) {
+      const SubTableId sides[2] = {pairs[k].left, pairs[k].right};
+      for (const SubTableId cand : sides) {
+        if (taken.count(cand) != 0) continue;
+        if (auto it = ps.credits.find(cand);
+            it != ps.credits.end() && it->second > 0) {
+          continue;
+        }
+        if (cache.contains(cand)) continue;
+        const ChunkMeta& cm = sh.meta.chunk(cand);
+        if (cm.location.storage_node != loc.storage_node ||
+            cm.location.file_no != loc.file_no) {
+          continue;
+        }
+        taken.insert(cand);
+        cands.push_back(&cm);
+      }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const ChunkMeta* a, const ChunkMeta* b) {
+                return a->location.offset < b->location.offset;
+              });
+    // Extend the run upward from `id`, then collect the chunks that chain
+    // downward onto its start.
+    std::vector<SubTableId> batch{id};
+    std::uint64_t run_end = loc.offset + loc.size;
+    for (const ChunkMeta* cm : cands) {
+      if (cm->location.offset == run_end) {
+        batch.push_back(cm->id);
+        run_end += cm->location.size;
+      }
+    }
+    std::uint64_t run_begin = loc.offset;
+    for (auto it = cands.rbegin(); it != cands.rend(); ++it) {
+      if ((*it)->location.offset + (*it)->location.size == run_begin) {
+        batch.push_back((*it)->id);
+        run_begin = (*it)->location.offset;
+      }
+    }
+    obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
+    stage.tag("batch", static_cast<std::uint64_t>(batch.size()));
+    sh.fetches += batch.size();
+    const bool pushdown =
+        !raw && sh.options.pushdown_selection && !sh.query.ranges.empty();
+    auto tables =
+        co_await sh.bds.instance(loc.storage_node)
+            .fetch_batch_to_compute(batch, node,
+                                    pushdown ? &sh.query.ranges : nullptr);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto st = std::move(tables[i]);
+      if (!raw && !pushdown && !sh.query.ranges.empty()) {
+        st = std::make_shared<const SubTable>(
+            filter_rows(*st, st->schema(), sh.query.ranges));
+      }
+      cache.put_pinned(batch[i], std::move(st));
+      if (i > 0) ++ps.credits[batch[i]];
+    }
+    sh.prefetch_issued += batch.size();
+  } else {
+    auto st = co_await fetch_subtable(sh, id, node, raw, cache);
+    cache.put_pinned(id, std::move(st));
+    ++sh.prefetch_issued;
+  }
+  sh.fetch_busy += sh.cluster.engine().now() - t0;
+}
+
+/// The per-node prefetcher: walks the pair list ahead of the join loop,
+/// pinning both sides of each pair before publishing its index. Always
+/// closes the channel on the way out; failures are parked in ps.error for
+/// the consumer to rethrow after the drain.
+sim::Task<> ij_prefetcher(IjShared& sh, std::size_t node, bool raw,
+                          CachingService& cache,
+                          const std::vector<SubTablePair>& pairs,
+                          IjPrefetchState& ps) {
+  auto* inj = fault::context();
+  try {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (ps.stop || (inj && inj->compute_down(node))) break;
+      bool left_pinned = false;
+      try {
+        co_await ij_prefetch_fetch(sh, node, raw, cache, ps, pairs, i,
+                                   pairs[i].left);
+        left_pinned = true;
+        if (ps.stop || (inj && inj->compute_down(node))) {
+          cache.unpin(pairs[i].left);
+          ++sh.prefetch_wasted;
+          break;
+        }
+        co_await ij_prefetch_fetch(sh, node, raw, cache, ps, pairs, i,
+                                   pairs[i].right);
+      } catch (...) {
+        if (left_pinned) {
+          cache.unpin(pairs[i].left);
+          ++sh.prefetch_wasted;
+        }
+        throw;
+      }
+      co_await ps.ch.send(i);
+    }
+  } catch (...) {
+    ps.error = std::current_exception();
+  }
+  // Unspent batch credits hold pins nobody will ever consume.
+  for (auto& [id, n] : ps.credits) {
+    for (; n > 0; --n) {
+      cache.unpin(id);
+      ++sh.prefetch_wasted;
+    }
+  }
+  ps.ch.close();
+}
+
 sim::Task<> ij_node(IjShared& sh, std::size_t node,
                     std::vector<SubTablePair> pairs) {
   const auto& hw = sh.cluster.spec().hw;
@@ -149,6 +332,118 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   auto* inj = fault::context();
   bool died = false;
   std::size_t next = 0;  // first pair whose output has NOT been accumulated
+  if (sh.options.prefetch_lookahead > 0 && !pairs.empty()) {
+    // Pipelined path: the prefetcher fetches + pins ahead while this loop
+    // builds and probes, overlapping Transfer with Cpu.
+    IjPrefetchState ps(sh.cluster.engine(), sh.options.prefetch_lookahead);
+    const sim::JoinHandle pf = sh.cluster.engine().spawn(
+        ij_prefetcher(sh, node, persistent, cache, pairs, ps),
+        strformat("ij-prefetch-%zu", node));
+    std::optional<std::size_t> inflight;  // recv'd pair whose pins we hold
+    std::exception_ptr consumer_error;
+    try {
+      for (;;) {
+        const double wait_from = sh.cluster.engine().now();
+        const auto idx = co_await ps.ch.recv();
+        if (!idx) break;  // prefetcher done (or failed: checked below)
+        sh.consumer_wait += sh.cluster.engine().now() - wait_from;
+        ORV_CHECK(*idx == next, "prefetched pairs must arrive in order");
+        inflight = *idx;
+        const auto& pair = pairs[next];
+        // Same fail-stop bracketing as the serial path: abandon the pair
+        // *before* accumulating its output. The in-flight pair's pins are
+        // released by the shutdown protocol below.
+        if (inj && inj->compute_down(node)) {
+          died = true;
+          break;
+        }
+
+        auto left = cache.get(pair.left);
+        if (!left) {
+          // Doomed while pinned (a failing re-fetch of the same chunk
+          // invalidated it): fetch fresh, serial-path style.
+          left =
+              co_await fetch_subtable(sh, pair.left, node, persistent, cache);
+          cache.put(pair.left, left);
+        }
+        auto ht = cache.get_hash_table(pair.left);
+        if (!ht) {
+          obs::StageScope build_stage(obs::context(), "ij.build",
+                                      node_stage.id());
+          co_await cpu.use(hw.gamma_build * factor *
+                           static_cast<double>(left->num_rows()));
+          ht = std::make_shared<const BuiltHashTable>(left,
+                                                      sh.query.join_attrs);
+          cache.attach_hash_table(pair.left, ht);
+          ++sh.builds;
+          sh.stats.build_tuples += left->num_rows();
+          build_stage.tag("rows", left->num_rows());
+        }
+        if (inj && inj->compute_down(node)) {
+          died = true;
+          break;
+        }
+
+        auto right = cache.get(pair.right);
+        if (!right) {
+          right =
+              co_await fetch_subtable(sh, pair.right, node, persistent, cache);
+          cache.put(pair.right, right);
+        }
+
+        obs::StageScope probe_stage(obs::context(), "ij.probe",
+                                    node_stage.id());
+        co_await cpu.use(hw.gamma_lookup * factor *
+                         static_cast<double>(right->num_rows()));
+        if (inj && inj->compute_down(node)) {  // pre-accumulation check
+          probe_stage.close();
+          died = true;
+          break;
+        }
+        SubTable out(sh.result_schema, SubTableId{0, out_seq++});
+        const JoinStats s = ht->probe(*right, sh.query.join_attrs, out);
+        probe_stage.tag("rows", right->num_rows());
+        probe_stage.close();
+        sh.stats.probe_tuples += s.probe_tuples;
+        if (persistent && !sh.query.ranges.empty()) {
+          out = filter_rows(out, out.schema(), sh.query.ranges);
+        }
+        sh.stats.result_tuples += out.num_rows();
+        sh.result_tuples += out.num_rows();
+        sh.fingerprint += out.unordered_fingerprint();
+        if (sh.options.result_sink) sh.options.result_sink(node, out);
+        cache.unpin(pair.left);
+        cache.unpin(pair.right);
+        inflight.reset();
+        ++next;
+      }
+    } catch (...) {
+      consumer_error = std::current_exception();
+    }
+    // Shutdown protocol (every exit takes it): release the in-flight
+    // pair's pins, tell the prefetcher to stop, drain what it already
+    // published (one pin per side per drained pair), and join it before
+    // this frame — which the prefetcher references — goes away.
+    if (inflight) {
+      cache.unpin(pairs[*inflight].left);
+      cache.unpin(pairs[*inflight].right);
+      sh.prefetch_wasted += 2;
+      inflight.reset();
+    }
+    ps.stop = true;
+    for (;;) {
+      const auto idx = co_await ps.ch.recv();
+      if (!idx) break;
+      cache.unpin(pairs[*idx].left);
+      cache.unpin(pairs[*idx].right);
+      sh.prefetch_wasted += 2;
+    }
+    co_await pf.join();
+    if (consumer_error) std::rethrow_exception(consumer_error);
+    // A prefetch failure on a pair a dead node never reached is not an
+    // error — the pair is orphaned work for the supervisor.
+    if (!died && ps.error) std::rethrow_exception(ps.error);
+  } else {
   for (; next < pairs.size(); ++next) {
     const auto& pair = pairs[next];
     // Fail-stop checks bracket each pair: once the node's crash time has
@@ -214,6 +509,7 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     sh.fingerprint += out.unordered_fingerprint();
     if (sh.options.result_sink) sh.options.result_sink(node, out);
   }
+  }  // serial path
   if (died) {
     inj->note_crash_observed(fault::NodeKind::Compute, node);
     sh.dead[node] = 1;
@@ -354,6 +650,14 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   result.fetch_retries = sh.fetch_retries;
   result.pairs_reassigned = sh.pairs_reassigned;
   result.compute_nodes_lost = sh.compute_nodes_lost;
+  result.prefetch_issued = sh.prefetch_issued;
+  result.prefetch_wasted = sh.prefetch_wasted;
+  if (sh.fetch_busy > 0) {
+    // 1 when the join loop never starved on the channel (all Transfer
+    // hidden behind Cpu); 0 when every fetch second was waited out.
+    result.overlap_ratio =
+        std::max(0.0, 1.0 - sh.consumer_wait / sh.fetch_busy);
+  }
   result.degraded = sh.fetch_retries > 0 || sh.pairs_reassigned > 0 ||
                     sh.compute_nodes_lost > 0;
   if (result.degraded) {
@@ -366,6 +670,11 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
     ctx->registry.counter("ij.hash_tables_built").add(sh.builds);
     ctx->registry.counter("ij.result_tuples").add(sh.result_tuples);
     ctx->registry.gauge("ij.elapsed_seconds").set(result.elapsed);
+    if (options.prefetch_lookahead > 0) {
+      ctx->registry.counter("prefetch.issued").add(sh.prefetch_issued);
+      ctx->registry.counter("prefetch.wasted").add(sh.prefetch_wasted);
+      ctx->registry.gauge("ij.overlap_ratio").set(result.overlap_ratio);
+    }
   }
   return result;
 }

@@ -57,6 +57,22 @@ struct QesOptions {
   /// Cache capacity per compute node; 0 means the cluster's memory size.
   std::uint64_t cache_bytes = 0;
 
+  /// Pipelined Indexed Join: each compute node runs a prefetcher coroutine
+  /// that walks the scheduled pair list up to this many pairs ahead of the
+  /// join loop, issuing BDS fetches and *pinning* the results in the
+  /// Caching Service so eviction cannot undo a prefetch before use. The
+  /// join loop consumes ready pairs from a bounded channel, so Transfer
+  /// overlaps Build/Probe and per-node time approaches max(Transfer, Cpu)
+  /// instead of their sum. 0 (default) keeps the serial fetch-then-join
+  /// path and the additive cost model.
+  std::size_t prefetch_lookahead = 0;
+
+  /// Pipelined fault-free prefetch fetches batch adjacent upcoming chunk
+  /// reads of the same storage node into a single multi-chunk disk
+  /// reservation (one seek per run instead of per chunk). Ignored when a
+  /// fault injector is installed: per-id fetches keep retry/backoff simple.
+  bool coalesce_fetches = true;
+
   /// Persistent per-compute-node Caching Service instances, reused across
   /// queries (the paper's future-work "caching strategies"). Must hold one
   /// cache per compute node. In this mode sub-tables are cached *raw* and
@@ -70,6 +86,15 @@ struct QesOptions {
   /// cluster's memory size (buckets must fit in memory, Section 4.2).
   std::uint64_t bucket_pair_bytes = 0;
   std::size_t channel_capacity = 4;
+  /// Pipelined Grace Hash: double-buffer the on-disk bucket spills (write
+  /// the batch for bucket k while partitioning k+1) and issue the next
+  /// bucket's scratch read while the CPU joins the current one, so each
+  /// phase pays max(Transfer, Write) / max(Read, Cpu) instead of the sum.
+  bool gh_double_buffer = false;
+
+  /// True when any overlap pipeline is enabled; the QPS selects the
+  /// pipelined cost models iff this holds.
+  bool pipelined() const { return prefetch_lookahead > 0 || gh_double_buffer; }
 
   std::uint64_t seed = 0;  // for randomized ablation strategies
 
@@ -103,6 +128,13 @@ struct QesResult {
   CachingService::Stats cache_stats;
   std::uint64_t subtable_fetches = 0;
   std::uint64_t hash_tables_built = 0;
+
+  // Pipelining accounting (zero on serial runs).
+  std::uint64_t prefetch_issued = 0;  // sub-table fetches issued ahead
+  std::uint64_t prefetch_wasted = 0;  // prefetched pins released unconsumed
+  /// Fraction of prefetch Transfer time hidden behind compute: 1 means the
+  /// join loop never waited on a fetch, 0 means no overlap (serial).
+  double overlap_ratio = 0;
 
   // Fault recovery accounting (all zero on a fault-free run).
   std::uint64_t fetch_retries = 0;       // BDS fetch attempts beyond the first

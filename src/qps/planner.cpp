@@ -10,18 +10,33 @@ const char* algorithm_name(Algorithm a) {
 }
 
 std::string PlanDecision::to_string() const {
-  return strformat("choose %s: IJ %s | GH %s", algorithm_name(chosen),
-                   ij.to_string().c_str(), gh.to_string().c_str());
+  return strformat("choose %s%s: IJ %s | GH %s", algorithm_name(chosen),
+                   pipelined ? " (pipelined)" : "", ij.to_string().c_str(),
+                   gh.to_string().c_str());
 }
 
 PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
                                 std::size_t rs_left, std::size_t rs_right,
-                                double cpu_factor) const {
+                                double cpu_factor,
+                                const QesOptions* qes) const {
   obs::StageScope stage(obs::context(), "qps.plan");
   PlanDecision d;
   d.params = CostParams::from(cluster_, data, rs_left, rs_right, cpu_factor);
-  d.ij = ij_cost(d.params);
-  d.gh = gh_cost(d.params);
+  if (qes != nullptr) {
+    d.params.batch_bytes = static_cast<double>(qes->batch_bytes);
+    d.params.bucket_pair_bytes = static_cast<double>(qes->bucket_pair_bytes);
+    d.params.prefetch_lookahead =
+        static_cast<double>(qes->prefetch_lookahead);
+  }
+  d.pipelined = qes != nullptr && qes->pipelined();
+  // Per-algorithm selection: the prefetcher only pipelines IJ, the spill
+  // double-buffer only pipelines GH. (ij_cost_pipelined at lookahead 0
+  // coincides with ij_cost, so the flags compose.)
+  d.ij = d.pipelined && qes->prefetch_lookahead > 0
+             ? ij_cost_pipelined(d.params)
+             : ij_cost(d.params);
+  d.gh = d.pipelined && qes->gh_double_buffer ? gh_cost_pipelined(d.params)
+                                              : gh_cost(d.params);
   d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
                                           : Algorithm::GraceHash;
   stage.tag("chosen", std::string(algorithm_name(d.chosen)));
@@ -30,8 +45,8 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
 
 PlanDecision QueryPlanner::plan(const MetaDataService& meta,
                                 const ConnectivityGraph& graph,
-                                const JoinQuery& query,
-                                double cpu_factor) const {
+                                const JoinQuery& query, double cpu_factor,
+                                const QesOptions* qes) const {
   ConnectivityStats data;
   data.T = meta.table_rows(query.left_table);
   const std::size_t n_left = meta.num_chunks(query.left_table);
@@ -41,8 +56,8 @@ PlanDecision QueryPlanner::plan(const MetaDataService& meta,
   data.num_edges = graph.num_edges();
   data.num_components = graph.num_components();
   return plan(data, meta.table_schema(query.left_table)->record_size(),
-              meta.table_schema(query.right_table)->record_size(),
-              cpu_factor);
+              meta.table_schema(query.right_table)->record_size(), cpu_factor,
+              qes);
 }
 
 QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
@@ -53,6 +68,7 @@ QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
   auto* ctx = obs::context();
   obs::StageScope stage(ctx, "qps.execute");
   stage.tag("algorithm", std::string(algorithm_name(decision.chosen)));
+  stage.tag("pipelined", static_cast<std::uint64_t>(decision.pipelined));
 
   QesResult result;
   if (decision.chosen == Algorithm::IndexedJoin) {

@@ -21,6 +21,8 @@ struct PlanDecision {
   CostBreakdown ij;
   CostBreakdown gh;
   CostParams params;
+  /// True when the pipelined (overlapped fetch/compute) models were used.
+  bool pipelined = false;
 
   double predicted_seconds() const {
     return chosen == Algorithm::IndexedJoin ? ij.total() : gh.total();
@@ -32,15 +34,21 @@ class QueryPlanner {
  public:
   explicit QueryPlanner(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
 
-  /// Plans from precomputed dataset statistics (closed-form path).
+  /// Plans from precomputed dataset statistics (closed-form path). When
+  /// `qes` is given and enables an overlap pipeline (QesOptions::
+  /// pipelined()), the max-of-stages cost models replace the additive ones
+  /// for the corresponding algorithm, parameterized by the options' knobs
+  /// (prefetch_lookahead, batch_bytes, bucket_pair_bytes).
   PlanDecision plan(const ConnectivityStats& data, std::size_t rs_left,
-                    std::size_t rs_right, double cpu_factor = 1.0) const;
+                    std::size_t rs_right, double cpu_factor = 1.0,
+                    const QesOptions* qes = nullptr) const;
 
   /// Plans from live metadata + the connectivity graph (measured path):
   /// derives T, c_R, c_S, n_e from what is actually stored.
   PlanDecision plan(const MetaDataService& meta,
                     const ConnectivityGraph& graph, const JoinQuery& query,
-                    double cpu_factor = 1.0) const;
+                    double cpu_factor = 1.0,
+                    const QesOptions* qes = nullptr) const;
 
   /// Runs the chosen algorithm.
   QesResult execute(const PlanDecision& decision, Cluster& cluster,

@@ -205,5 +205,139 @@ TEST(Cache, StatsStayConsistentUnderConcurrentEviction) {
   EXPECT_EQ(cache.used_bytes(), live);
 }
 
+TEST(CachePin, PinnedEntriesSkipEviction) {
+  // Capacity for 2 tables; pin the LRU victim and watch eviction pass it
+  // over in favour of the next-oldest unpinned entry.
+  CachingService cache(200, CachePolicy::LRU);
+  cache.put({1, 0}, table_of(25, 0));
+  cache.put({1, 1}, table_of(25, 1));
+  ASSERT_TRUE(cache.pin({1, 0}));  // also refreshes recency; 1 is now LRU
+  ASSERT_TRUE(cache.pin({1, 1}));
+  cache.unpin({1, 1});  // pin+unpin must leave 1 evictable
+  cache.put({1, 2}, table_of(25, 2));  // must evict 1, not pinned 0
+  EXPECT_TRUE(cache.contains({1, 0}));
+  EXPECT_FALSE(cache.contains({1, 1}));
+  EXPECT_TRUE(cache.contains({1, 2}));
+  EXPECT_EQ(cache.pinned_count(), 1u);
+  cache.unpin({1, 0});
+  EXPECT_EQ(cache.pinned_count(), 0u);
+}
+
+TEST(CachePin, AllPinnedOvershootsCapacityRatherThanEvict) {
+  // When every resident entry is pinned the insert is still admitted: the
+  // prefetcher's claim wins over the capacity bound, temporarily.
+  CachingService cache(200, CachePolicy::LRU);
+  cache.put_pinned({1, 0}, table_of(25, 0));
+  cache.put_pinned({1, 1}, table_of(25, 1));
+  cache.put_pinned({1, 2}, table_of(25, 2));
+  EXPECT_EQ(cache.used_bytes(), 300u);  // over the 200-byte capacity
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.unpin({1, 0});
+  cache.put({1, 3}, table_of(25, 3));  // now 0 is fair game again
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_LE(cache.used_bytes(), 300u);
+  cache.unpin({1, 1});
+  cache.unpin({1, 2});
+}
+
+TEST(CachePin, InvalidateOnPinnedDefersUntilUnpin) {
+  CachingService cache(1024);
+  cache.put_pinned({1, 0}, table_of(4, 0));
+  EXPECT_TRUE(cache.invalidate({1, 0}));
+  // Doomed: no longer served, but the entry (and its pin) still exists.
+  EXPECT_FALSE(cache.contains({1, 0}));
+  EXPECT_EQ(cache.get({1, 0}), nullptr);
+  EXPECT_EQ(cache.get_hash_table({1, 0}), nullptr);
+  EXPECT_FALSE(cache.pin({1, 0}));              // new pins refused
+  EXPECT_FALSE(cache.invalidate({1, 0}));       // second doom is a no-op
+  EXPECT_EQ(cache.num_entries(), 1u);           // removal deferred
+  EXPECT_GT(cache.used_bytes(), 0u);
+  cache.unpin({1, 0});                          // last pin → removed
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(CachePin, PutOnDoomedIdReplacesBytesAndClearsDoom) {
+  CachingService cache(1024);
+  cache.put_pinned({1, 0}, table_of(4, 0));
+  cache.attach_hash_table({1, 0},
+                          std::make_shared<const BuiltHashTable>(
+                              table_of(4, 0), std::vector<std::string>{"k"}));
+  ASSERT_TRUE(cache.invalidate({1, 0}));
+  // A re-fetch supersedes the doom: fresh bytes are served again and the
+  // hash table built on the suspect bytes is gone.
+  cache.put({1, 0}, table_of(8, 0));
+  EXPECT_TRUE(cache.contains({1, 0}));
+  auto st = cache.get({1, 0});
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->num_rows(), 8u);
+  EXPECT_EQ(cache.get_hash_table({1, 0}), nullptr);
+  EXPECT_EQ(cache.pinned_count(), 1u);  // the original pin carried over
+  cache.unpin({1, 0});
+  EXPECT_TRUE(cache.contains({1, 0}));  // no longer doomed → unpin keeps it
+}
+
+TEST(CachePin, StatsStayExactUnderPinStress) {
+  // Four threads mix lookups, inserts, pin/unpin cycles, and invalidations
+  // on a cache small enough that eviction pressure is constant. The
+  // counting invariant (hits + misses == lookups) and the pin ledger
+  // (every pin matched by one unpin → pinned_count() == 0) must survive.
+  CachingService cache(400);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::atomic<std::uint64_t> lookups{0};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &lookups, t] {
+      std::mt19937_64 rng(2000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const ChunkId id = static_cast<ChunkId>(rng() % 16);
+        switch (rng() % 6) {
+          case 0:
+            cache.put({1, id}, table_of(25, id));
+            break;
+          case 1:
+            cache.invalidate({1, id});
+            break;
+          case 2: {
+            // Balanced pin/unpin with work in between, mimicking a
+            // prefetched pair being consumed while other threads churn.
+            if (cache.pin({1, id})) {
+              cache.get({1, id});
+              lookups.fetch_add(1, std::memory_order_relaxed);
+              cache.unpin({1, id});
+            }
+            break;
+          }
+          case 3:
+            cache.put_pinned({1, id}, table_of(25, id));
+            cache.unpin({1, id});
+            break;
+          default:
+            cache.get({1, id});
+            lookups.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, lookups.load());
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_EQ(cache.pinned_count(), 0u);
+  // Byte accounting survived: no doomed stragglers remain (all pins were
+  // released), so live bytes == accounted bytes.
+  std::uint64_t live = 0;
+  for (ChunkId id = 0; id < 16; ++id) {
+    if (auto st = cache.get({1, id})) live += st->size_bytes();
+  }
+  EXPECT_EQ(cache.used_bytes(), live);
+}
+
 }  // namespace
 }  // namespace orv

@@ -71,5 +71,65 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPool, ExplicitGrainCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {1u, 3u, 7u, 64u, 1000u, 5000u}) {
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallel_for(
+        1000, [&](std::size_t i) { counts[i]++; }, grain);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsSequentially) {
+  ThreadPool pool(4);
+  // One chunk swallows the whole range: indices must arrive in order on a
+  // single thread.
+  std::vector<std::size_t> order;
+  pool.parallel_for(
+      100, [&](std::size_t i) { order.push_back(i); }, 1000);
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionMidChunkPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  // The throwing index sits mid-chunk (grain 16): the chunk's remaining
+  // indices are abandoned but the completion invariant must still hold —
+  // a hang here means completed_ never catches up to next_index_.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(
+                   1000,
+                   [&](std::size_t i) {
+                     if (i % 100 == 50) throw IoError("mid-chunk boom");
+                     ran++;
+                   },
+                   16),
+               IoError);
+  EXPECT_LT(ran.load(), 1000);
+
+  // Subsequent jobs see a clean pool: full coverage, fresh exception slot.
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(
+        333, [&](std::size_t) { count++; }, 8);
+    ASSERT_EQ(count.load(), 333) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ExceptionInEveryChunkStillCompletes) {
+  ThreadPool pool(3);
+  // First exception wins; the rest are swallowed without deadlocking the
+  // done_cv_ wait.
+  EXPECT_THROW(pool.parallel_for(
+                   300, [&](std::size_t) { throw IoError("all boom"); }, 10),
+               IoError);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
 }  // namespace
 }  // namespace orv

@@ -17,7 +17,8 @@
 namespace orv {
 namespace {
 
-void chaos_sweep(bool indexed_join, const char* algo) {
+void chaos_sweep(bool indexed_join, const char* algo,
+                 const QesOptions& options = {}) {
   const std::uint64_t n = chaos::env_u64("ORV_CHAOS_N", 120);
   const std::uint64_t base = chaos::env_u64("ORV_CHAOS_SEED", 1000);
   std::uint64_t degraded_runs = 0;
@@ -30,6 +31,9 @@ void chaos_sweep(bool indexed_join, const char* algo) {
 
     QesResult baseline;
     try {
+      // Oracle is the *serial* fault-free run: faulted pipelined results
+      // must match it byte-for-byte, proving the prefetcher/double-buffer
+      // changes scheduling only, never the row multiset.
       baseline = rig.run(indexed_join);
     } catch (const std::exception& e) {
       const std::string line = chaos::describe_failure(
@@ -40,7 +44,7 @@ void chaos_sweep(bool indexed_join, const char* algo) {
     }
 
     try {
-      const QesResult faulted = rig.run(indexed_join, &plan);
+      const QesResult faulted = rig.run(indexed_join, &plan, options);
       if (faulted.result_fingerprint != baseline.result_fingerprint ||
           faulted.result_tuples != baseline.result_tuples) {
         const std::string line = chaos::describe_failure(
@@ -76,6 +80,18 @@ void chaos_sweep(bool indexed_join, const char* algo) {
 TEST(Chaos, IndexedJoinSweep) { chaos_sweep(true, "indexed_join"); }
 
 TEST(Chaos, GraceHashSweep) { chaos_sweep(false, "grace_hash"); }
+
+TEST(Chaos, PipelinedIndexedJoinSweep) {
+  QesOptions options;
+  options.prefetch_lookahead = 4;
+  chaos_sweep(true, "indexed_join_pipelined", options);
+}
+
+TEST(Chaos, PipelinedGraceHashSweep) {
+  QesOptions options;
+  options.gh_double_buffer = true;
+  chaos_sweep(false, "grace_hash_pipelined", options);
+}
 
 }  // namespace
 }  // namespace orv

@@ -97,6 +97,42 @@ TEST(Planner, ExecuteRunsChosenAlgorithm) {
   EXPECT_DOUBLE_EQ(result.scratch_write_bytes, 0.0);
 }
 
+TEST(Planner, PipelinedOptionsSelectPipelinedModels) {
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = {8, 8, 8};
+  data.part2 = {8, 8, 8};
+  QueryPlanner planner((ClusterSpec()));
+  const auto stats = analyze(data);
+  const auto serial = planner.plan(stats, 16, 16);
+  EXPECT_FALSE(serial.pipelined);
+
+  QesOptions qes;
+  qes.prefetch_lookahead = 4;
+  qes.gh_double_buffer = true;
+  const auto pipe = planner.plan(stats, 16, 16, 1.0, &qes);
+  EXPECT_TRUE(pipe.pipelined);
+  EXPECT_NE(pipe.to_string().find("(pipelined)"), std::string::npos);
+  // Overlap strictly lowers both predictions; stage terms are unchanged.
+  EXPECT_LT(pipe.ij.total(), serial.ij.total());
+  EXPECT_LT(pipe.gh.total(), serial.gh.total());
+  EXPECT_DOUBLE_EQ(pipe.ij.transfer, serial.ij.transfer);
+  EXPECT_DOUBLE_EQ(pipe.gh.write, serial.gh.write);
+
+  // Per-knob selection: only the enabled pipeline's model switches.
+  QesOptions ij_only;
+  ij_only.prefetch_lookahead = 4;
+  const auto d_ij = planner.plan(stats, 16, 16, 1.0, &ij_only);
+  EXPECT_LT(d_ij.ij.total(), serial.ij.total());
+  EXPECT_DOUBLE_EQ(d_ij.gh.total(), serial.gh.total());
+
+  QesOptions gh_only;
+  gh_only.gh_double_buffer = true;
+  const auto d_gh = planner.plan(stats, 16, 16, 1.0, &gh_only);
+  EXPECT_DOUBLE_EQ(d_gh.ij.total(), serial.ij.total());
+  EXPECT_LT(d_gh.gh.total(), serial.gh.total());
+}
+
 // Sweep: whatever the planner picks must indeed be the faster algorithm in
 // simulation (within a slack factor for model error) across shapes.
 struct PlanCase {
