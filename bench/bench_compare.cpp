@@ -1,0 +1,433 @@
+// bench_compare: perf-regression gate over the committed BENCH_*.json
+// snapshots. Compares a candidate series file (written by a fig bench's
+// --out flag) against its committed baseline and fails — exit code 1 —
+// when any metric drifts outside its tolerance.
+//
+//   bench_compare <baseline.json> <candidate.json>
+//                 [--tol default=0.05] [--tol <metric>=<frac>]...
+//
+// Files are the {"figure": "...", "rows": [{...}, ...]} shape SeriesJson
+// writes. Rows are matched by position; every metric present in either
+// row is compared. Numbers use a two-sided relative tolerance
+// |cand - base| <= frac * max(|base|, |cand|); strings and booleans must
+// match exactly. The simulator is deterministic, so the default 5% is
+// headroom for intentional model refinements, not run-to-run noise —
+// tighten or widen per metric with --tol.
+//
+// The parser below is a deliberately small recursive-descent JSON reader
+// (objects, arrays, strings, numbers, true/false/null) so the tool stays
+// dependency-free and usable from CI before the rest of the repo builds.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind =
+      Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonPtr> items;
+  // Insertion order preserved so report lines follow the file's layout.
+  std::vector<std::pair<std::string, JsonPtr>> fields;
+
+  const JsonPtr* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::fprintf(stderr, "bench_compare: JSON error at %zu:%zu: %s\n", line,
+                 col, why.c_str());
+    std::exit(2);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return bool_value();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  JsonPtr object() {
+    expect('{');
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string_literal();
+      skip_ws();
+      expect(':');
+      v->fields.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonPtr array() {
+    expect('[');
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v->items.push_back(value());
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string_literal() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // The series files only hold ASCII; decode \uXXXX to its low
+          // byte, which round-trips everything SeriesJson ever emits.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default: fail(std::string("bad escape '\\") + e + "'");
+      }
+    }
+  }
+
+  JsonPtr string_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::String;
+    v->str = string_literal();
+    return v;
+  }
+
+  JsonPtr bool_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->b = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v->b = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonPtr null_value() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::Null;
+    return v;
+  }
+
+  JsonPtr number() {
+    const std::size_t begin = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == begin) fail("expected a value");
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::Number;
+    try {
+      v->num = std::stod(text_.substr(begin, pos_ - begin));
+    } catch (...) {
+      fail("bad number '" + text_.substr(begin, pos_ - begin) + "'");
+    }
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+JsonPtr load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parser(ss.str()).parse();
+}
+
+// ------------------------------------------------------------- compare --
+
+struct Tolerances {
+  double fallback = 0.05;
+  std::map<std::string, double> per_metric;
+
+  double for_metric(const std::string& name) const {
+    auto it = per_metric.find(name);
+    return it != per_metric.end() ? it->second : fallback;
+  }
+};
+
+std::string row_label(const JsonValue& row, std::size_t index) {
+  // The leading field of every series row is its x-axis key (ne_cs, n_j,
+  // ...); use it so violations name the point, not just the index.
+  std::string label = "row " + std::to_string(index);
+  if (!row.fields.empty() &&
+      row.fields.front().second->kind == JsonValue::Kind::Number) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", row.fields.front().second->num);
+    label += " (" + row.fields.front().first + "=" + buf + ")";
+  }
+  return label;
+}
+
+int compare(const JsonValue& base, const JsonValue& cand,
+            const Tolerances& tol) {
+  int violations = 0;
+  auto violate = [&](const std::string& what) {
+    std::fprintf(stderr, "FAIL %s\n", what.c_str());
+    ++violations;
+  };
+
+  const JsonPtr* bfig = base.find("figure");
+  const JsonPtr* cfig = cand.find("figure");
+  const std::string bname = bfig ? (*bfig)->str : "?";
+  if (!bfig || !cfig || (*bfig)->str != (*cfig)->str) {
+    violate("figure mismatch: baseline=" + bname +
+            " candidate=" + (cfig ? (*cfig)->str : "?"));
+    return violations;
+  }
+
+  const JsonPtr* brows = base.find("rows");
+  const JsonPtr* crows = cand.find("rows");
+  if (!brows || !crows) {
+    violate(bname + ": missing \"rows\" array");
+    return violations;
+  }
+  if ((*brows)->items.size() != (*crows)->items.size()) {
+    violate(bname + ": row count " +
+            std::to_string((*crows)->items.size()) + " != baseline " +
+            std::to_string((*brows)->items.size()));
+    return violations;
+  }
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < (*brows)->items.size(); ++i) {
+    const JsonValue& brow = *(*brows)->items[i];
+    const JsonValue& crow = *(*crows)->items[i];
+    const std::string label = bname + " " + row_label(brow, i);
+
+    // Union of metric names, baseline order first.
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : brow.fields) keys.push_back(k);
+    for (const auto& [k, v] : crow.fields) {
+      if (!brow.find(k)) keys.push_back(k);
+    }
+    for (const std::string& key : keys) {
+      const JsonPtr* bv = brow.find(key);
+      const JsonPtr* cv = crow.find(key);
+      if (!bv || !cv) {
+        violate(label + ": metric '" + key + "' " +
+                (bv ? "missing from candidate" : "not in baseline"));
+        continue;
+      }
+      ++checked;
+      const JsonValue& b = **bv;
+      const JsonValue& c = **cv;
+      if (b.kind != c.kind) {
+        violate(label + ": metric '" + key + "' changed type");
+        continue;
+      }
+      if (b.kind == JsonValue::Kind::Number) {
+        const double frac = tol.for_metric(key);
+        const double scale = std::max(std::abs(b.num), std::abs(c.num));
+        const double diff = std::abs(c.num - b.num);
+        if (diff > frac * scale + 1e-12) {
+          char buf[256];
+          std::snprintf(buf, sizeof(buf),
+                        "%s: %s base=%.6g cand=%.6g (%+.2f%% > tol %.2f%%)",
+                        label.c_str(), key.c_str(), b.num, c.num,
+                        b.num != 0 ? 100.0 * (c.num - b.num) / b.num : 0.0,
+                        100.0 * frac);
+          violate(buf);
+        }
+      } else if (b.kind == JsonValue::Kind::String) {
+        if (b.str != c.str) {
+          violate(label + ": " + key + " \"" + b.str + "\" -> \"" + c.str +
+                  "\"");
+        }
+      } else if (b.kind == JsonValue::Kind::Bool) {
+        if (b.b != c.b) violate(label + ": " + key + " flipped");
+      }
+    }
+  }
+  if (violations == 0) {
+    std::printf("OK %s: %zu rows, %zu metrics within tolerance\n",
+                bname.c_str(), (*brows)->items.size(), checked);
+  }
+  return violations;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <candidate.json>\n"
+               "                     [--tol default=<frac>] "
+               "[--tol <metric>=<frac>]...\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  Tolerances tol;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol") {
+      if (i + 1 >= argc) usage();
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) usage();
+      const std::string name = spec.substr(0, eq);
+      const double frac = std::atof(spec.c_str() + eq + 1);
+      if (frac < 0) usage();
+      if (name == "default") {
+        tol.fallback = frac;
+      } else {
+        tol.per_metric[name] = frac;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) usage();
+
+  const JsonPtr base = load(files[0]);
+  const JsonPtr cand = load(files[1]);
+  const int violations = compare(*base, *cand, tol);
+  if (violations > 0) {
+    std::fprintf(stderr, "bench_compare: %d violation(s) against %s\n",
+                 violations, files[0].c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -20,10 +20,12 @@
 #include "cost/cost_model.hpp"
 #include "datagen/generator.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
 #include "obs/sim_clock.hpp"
+#include "obs/trace.hpp"
 #include "qes/qes.hpp"
 #include "qps/planner.hpp"
 #include "sim/engine.hpp"
@@ -105,6 +107,57 @@ class ProfileReport {
   std::vector<obs::ExecutionProfile> profiles_;
 };
 
+/// Accumulates one Chrome trace-event file across every query of a bench
+/// run when ORV_TRACE names a file. Each query becomes one "process" in
+/// the trace (one track per simulated node inside it), so the file opens
+/// directly in Perfetto / chrome://tracing. Rewritten after each query so
+/// a partially completed bench still leaves valid JSON behind.
+class TraceReport {
+ public:
+  static TraceReport& instance() {
+    static TraceReport report;
+    return report;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Virtual-time sampling interval for the occupancy time series
+  /// (ORV_SAMPLE_INTERVAL, simulated seconds; 0 disables sampling).
+  double sample_interval() const { return sample_interval_; }
+
+  void add(std::string label, std::vector<obs::SpanRecord> spans,
+           std::vector<obs::TimeSeries> series) {
+    queries_.push_back(obs::ChromeTraceQuery{
+        std::move(label), std::move(spans), std::move(series)});
+    write();
+  }
+
+ private:
+  TraceReport() {
+    if (const char* p = std::getenv("ORV_TRACE")) path_ = p;
+    if (const char* s = std::getenv("ORV_SAMPLE_INTERVAL")) {
+      sample_interval_ = std::atof(s);
+    }
+  }
+
+  void write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "ORV_TRACE: cannot open %s\n", path_.c_str());
+      return;
+    }
+    const std::string out = obs::chrome_trace_json(queries_);
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+  // Default chosen so the sub-second figure queries still get tens of
+  // points per counter track; only read when ORV_TRACE is set.
+  double sample_interval_ = 0.01;
+  std::vector<obs::ChromeTraceQuery> queries_;
+};
+
 namespace detail {
 
 /// Runs one algorithm under a freshly installed obs context (virtual-time
@@ -115,6 +168,10 @@ QesResult run_profiled(const sim::Engine& engine, const std::string& label,
                        RunFn&& run) {
   obs::SimClock clock(engine);
   obs::ObsContext ctx(&clock);
+  const bool tracing = TraceReport::instance().enabled();
+  if (tracing) {
+    ctx.sample_interval = TraceReport::instance().sample_interval();
+  }
   QesResult result;
   {
     obs::ScopedInstall install(ctx);
@@ -130,9 +187,48 @@ QesResult run_profiled(const sim::Engine& engine, const std::string& label,
                        : so_far.model_gh.total();
     pv.measured = result.elapsed;
     ctx.add_plan_validation(std::move(pv));
+
+    // Critical-path stage attribution, cross-checked against the model's
+    // per-stage terms: transfer maps to the network stage, the GH bucket
+    // write to spill, the bucket read-back to disk. What the model hides
+    // via `overlap` the trace shows as genuine off-critical-path time, so
+    // the per-stage ratios stay meaningful for pipelined runs too.
+    const auto dag = obs::TraceDag::assemble(ctx.tracer.snapshot());
+    const char* root_name =
+        algorithm == Algorithm::IndexedJoin ? "ij.query" : "gh.query";
+    obs::SpanId root;
+    for (const auto& s : dag.spans()) {
+      if (s.name == root_name) root = s.id;
+    }
+    const obs::CriticalPath cp = obs::critical_path(dag, root);
+    if (!cp.segments.empty()) {
+      const CostBreakdown& model = algorithm == Algorithm::IndexedJoin
+                                       ? so_far.model_ij
+                                       : so_far.model_gh;
+      std::vector<obs::StageAccuracy> stages;
+      stages.push_back({"network", model.transfer,
+                        cp.stage_seconds(obs::Stage::Network)});
+      stages.push_back(
+          {"disk", model.read, cp.stage_seconds(obs::Stage::Disk)});
+      stages.push_back(
+          {"spill", model.write, cp.stage_seconds(obs::Stage::Spill)});
+      stages.push_back({"cpu", model.cpu(),
+                        cp.stage_seconds(obs::Stage::Cpu)});
+      stages.push_back(
+          {"cache_wait", 0, cp.stage_seconds(obs::Stage::CacheWait)});
+      stages.push_back({"other", 0, cp.stage_seconds(obs::Stage::Other)});
+      ctx.set_last_plan_stages(std::move(stages));
+    }
   }
-  ProfileReport::instance().add(obs::build_profile(
-      ctx, label, algorithm_name(algorithm), result.elapsed));
+  if (ProfileReport::instance().enabled()) {
+    ProfileReport::instance().add(obs::build_profile(
+        ctx, label, algorithm_name(algorithm), result.elapsed));
+  }
+  if (tracing) {
+    TraceReport::instance().add(
+        label + "/" + algorithm_name(algorithm), ctx.tracer.snapshot(),
+        ctx.time_series());
+  }
   return result;
 }
 
@@ -172,9 +268,12 @@ inline ScenarioResult run_scenario(Scenario sc) {
   QesOptions options = sc.options;
   options.cpu_work_factor = sc.cpu_work_factor;
 
-  const bool profiling = ProfileReport::instance().enabled();
+  // Either sink engages the instrumented path: ORV_PROFILE wants the
+  // per-stage profile, ORV_TRACE wants the span snapshot + time series.
+  const bool instrumented = ProfileReport::instance().enabled() ||
+                            TraceReport::instance().enabled();
   const std::string label =
-      profiling ? ProfileReport::instance().next_label() : std::string();
+      instrumented ? ProfileReport::instance().next_label() : std::string();
   {
     sim::Engine engine;
     Cluster cluster(engine, sc.cluster);
@@ -182,7 +281,7 @@ inline ScenarioResult run_scenario(Scenario sc) {
     auto run = [&] {
       return run_indexed_join(cluster, bds, ds.meta, graph, query, options);
     };
-    out.sim_ij = profiling
+    out.sim_ij = instrumented
                      ? detail::run_profiled(engine, label,
                                             Algorithm::IndexedJoin, out, run)
                      : run();
@@ -194,7 +293,7 @@ inline ScenarioResult run_scenario(Scenario sc) {
     auto run = [&] {
       return run_grace_hash(cluster, bds, ds.meta, query, options);
     };
-    out.sim_gh = profiling
+    out.sim_gh = instrumented
                      ? detail::run_profiled(engine, label,
                                             Algorithm::GraceHash, out, run)
                      : run();

@@ -36,13 +36,13 @@ BdsInstance::BdsInstance(Cluster& cluster, std::size_t storage_node,
 }
 
 sim::Task<std::shared_ptr<const SubTable>> BdsInstance::produce(
-    SubTableId id) {
+    SubTableId id, obs::TraceContext rpc) {
   const ChunkMeta& cm = meta_.chunk(id);
   ORV_REQUIRE(cm.location.storage_node == node_,
               "BDS instance asked for a chunk on another node: " +
                   cm.location.to_string());
-  obs::StageScope stage(obs::context(), "bds.produce");
-  stage.tag("node", static_cast<std::uint64_t>(node_));
+  obs::StageScope stage(obs::context(), "bds.produce", rpc.parent);
+  stage.tag("storage_node", static_cast<std::uint64_t>(node_));
 
   if (auto* inj = fault::context()) {
     if (inj->storage_down(node_)) {
@@ -110,12 +110,12 @@ SubTable filter_subtable(const SubTable& st,
 
 sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
     SubTableId id, std::size_t compute_node,
-    const std::vector<AttrRange>* ranges) {
+    const std::vector<AttrRange>* ranges, obs::TraceContext rpc) {
   const ChunkMeta& cm = meta_.chunk(id);
   ORV_REQUIRE(cm.location.storage_node == node_,
               "BDS instance asked for a chunk on another node: " +
                   cm.location.to_string());
-  obs::StageScope stage(obs::context(), "bds.fetch");
+  obs::StageScope stage(obs::context(), "bds.fetch", rpc.parent);
   stage.tag("storage_node", static_cast<std::uint64_t>(node_));
   stage.tag("compute_node", static_cast<std::uint64_t>(compute_node));
 
@@ -176,9 +176,10 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
 sim::Task<std::vector<std::shared_ptr<const SubTable>>>
 BdsInstance::fetch_batch_to_compute(std::vector<SubTableId> ids,
                                     std::size_t compute_node,
-                                    const std::vector<AttrRange>* ranges) {
+                                    const std::vector<AttrRange>* ranges,
+                                    obs::TraceContext rpc) {
   ORV_REQUIRE(!ids.empty(), "batch fetch needs at least one id");
-  obs::StageScope stage(obs::context(), "bds.fetch");
+  obs::StageScope stage(obs::context(), "bds.fetch", rpc.parent);
   stage.tag("storage_node", static_cast<std::uint64_t>(node_));
   stage.tag("compute_node", static_cast<std::uint64_t>(compute_node));
   stage.tag("batch", static_cast<std::uint64_t>(ids.size()));

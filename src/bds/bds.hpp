@@ -15,6 +15,7 @@
 #include "cluster/cluster.hpp"
 #include "extract/extractor.hpp"
 #include "meta/metadata.hpp"
+#include "obs/span.hpp"
 #include "sim/task.hpp"
 
 namespace orv {
@@ -39,8 +40,11 @@ class BdsInstance {
   const BdsStats& stats() const { return stats_; }
 
   /// Produces the basic sub-table (i, j) locally: disk read + extraction.
-  /// The chunk must live on this node.
-  sim::Task<std::shared_ptr<const SubTable>> produce(SubTableId id);
+  /// The chunk must live on this node. `rpc` is the caller's trace
+  /// context; the storage-side span parents on it so cross-node requests
+  /// assemble into one DAG.
+  sim::Task<std::shared_ptr<const SubTable>> produce(
+      SubTableId id, obs::TraceContext rpc = {});
 
   /// produce() followed by a network transfer of the sub-table's bytes to
   /// the given compute node. If `ranges` is non-null and non-empty, the
@@ -49,7 +53,8 @@ class BdsInstance {
   /// extractor layer enables; the paper filters at the compute side).
   sim::Task<std::shared_ptr<const SubTable>> fetch_to_compute(
       SubTableId id, std::size_t compute_node,
-      const std::vector<AttrRange>* ranges = nullptr);
+      const std::vector<AttrRange>* ranges = nullptr,
+      obs::TraceContext rpc = {});
 
   /// Batched fetch_to_compute over several of this node's chunks, for the
   /// pipelined prefetcher: chunk reads that are adjacent on disk (same
@@ -61,7 +66,8 @@ class BdsInstance {
   /// to per-id fetches when an injector is installed.
   sim::Task<std::vector<std::shared_ptr<const SubTable>>>
   fetch_batch_to_compute(std::vector<SubTableId> ids, std::size_t compute_node,
-                         const std::vector<AttrRange>* ranges = nullptr);
+                         const std::vector<AttrRange>* ranges = nullptr,
+                         obs::TraceContext rpc = {});
 
  private:
   Cluster& cluster_;

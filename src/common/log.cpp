@@ -37,7 +37,12 @@ const char* obs_name(Level lvl) {
 const std::chrono::steady_clock::time_point g_start =
     std::chrono::steady_clock::now();
 
-double seconds_since_start() {
+// Timestamps route through the installed ObsContext clock when one is
+// present, so a log line emitted under a SimClock carries the *virtual*
+// instant — the one that lines up with spans, profiles, and traces — and
+// only falls back to wall time relative to process start otherwise.
+double timestamp_now() {
+  if (auto* ctx = obs::context()) return ctx->clock()->now();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        g_start)
       .count();
@@ -62,7 +67,7 @@ void emit(Level lvl, const std::string& message) {
   line += name(lvl);
   if (g_timestamps.load(std::memory_order_relaxed)) {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), " %12.6f", seconds_since_start());
+    std::snprintf(buf, sizeof(buf), " %12.6f", timestamp_now());
     line += buf;
   }
   line += "] ";

@@ -1,0 +1,39 @@
+#pragma once
+
+// Chrome trace-event exporter: turns a query's span snapshot plus the
+// sampler's time series into the JSON object format understood by
+// Perfetto / chrome://tracing. One process ("pid") per query; one thread
+// track per simulated node (resolved from the "node" / "storage_node" /
+// "track" tags on each span's ancestor chain) plus a "control" track for
+// the root and supervisor spans; counter tracks ("C" events) from the
+// time series; flow events ("s"/"f") for every cross-track structural
+// edge and every link edge, so fetches and h1 transfers render as arrows
+// between node tracks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+
+namespace orv::obs {
+
+/// One query's worth of trace data, exported as one pid.
+struct ChromeTraceQuery {
+  std::string label;                  // process_name metadata
+  std::vector<SpanRecord> spans;      // one Tracer snapshot
+  std::vector<TimeSeries> series;     // sampler counter tracks
+};
+
+/// Writes {"traceEvents": [...], "displayTimeUnit": "ms",
+/// "openSpans": n} covering all queries. Virtual seconds map to trace
+/// microseconds. Open spans are counted but not emitted as events, so a
+/// well-formed file always has openSpans == 0.
+void write_chrome_trace(JsonWriter& w,
+                        const std::vector<ChromeTraceQuery>& queries);
+
+std::string chrome_trace_json(const std::vector<ChromeTraceQuery>& queries);
+
+}  // namespace orv::obs

@@ -152,6 +152,10 @@ void write_spans(JsonWriter& w, const std::vector<SpanRecord>& spans) {
     w.value(static_cast<std::uint64_t>(s.id.value));
     w.key("parent");
     w.value(static_cast<std::uint64_t>(s.parent.value));
+    if (s.link) {
+      w.key("link");
+      w.value(static_cast<std::uint64_t>(s.link.value));
+    }
     w.key("name");
     w.value(s.name);
     w.key("start");
@@ -214,9 +218,47 @@ std::string export_json(const ObsContext& ctx) {
     w.value(pv.measured);
     w.key("error_ratio");
     w.value(pv.error_ratio());
+    if (!pv.stages.empty()) {
+      w.key("stages");
+      w.begin_array();
+      for (const auto& sa : pv.stages) {
+        w.begin_object();
+        w.key("stage");
+        w.value(sa.stage);
+        w.key("predicted");
+        w.value(sa.predicted);
+        w.key("measured");
+        w.value(sa.measured);
+        w.key("error_ratio");
+        w.value(sa.error_ratio());
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();
+  const auto series = ctx.time_series();
+  if (!series.empty()) {
+    w.key("time_series");
+    w.begin_array();
+    for (const auto& ts : series) {
+      w.begin_object();
+      w.key("name");
+      w.value(ts.name);
+      w.key("points");
+      w.begin_array();
+      for (const auto& [t, v] : ts.points) {
+        w.begin_array();
+        w.value(t);
+        w.value(v);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   return w.str();
 }

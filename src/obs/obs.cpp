@@ -38,4 +38,30 @@ std::vector<PlanValidation> ObsContext::plan_validations() const {
   return plan_validations_;
 }
 
+void ObsContext::set_last_plan_stages(std::vector<StageAccuracy> stages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!plan_validations_.empty()) {
+    plan_validations_.back().stages = std::move(stages);
+  }
+}
+
+void ObsContext::add_sample(std::string_view series, double t, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : series_) {
+    if (s.name == series) {
+      s.points.emplace_back(t, v);
+      return;
+    }
+  }
+  TimeSeries ts;
+  ts.name = std::string(series);
+  ts.points.emplace_back(t, v);
+  series_.push_back(std::move(ts));
+}
+
+std::vector<TimeSeries> ObsContext::time_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
 }  // namespace orv::obs

@@ -27,6 +27,19 @@
 
 namespace orv::obs {
 
+/// Per-stage accuracy record: one cost-model term (transfer, write, read,
+/// cpu) against the virtual seconds the critical path attributed to the
+/// matching stage (network, spill, disk, cpu).
+struct StageAccuracy {
+  std::string stage;
+  double predicted = 0;
+  double measured = 0;
+
+  double error_ratio() const {
+    return predicted > 0 ? measured / predicted : 0.0;
+  }
+};
+
 /// QPS cost-model feedback: what the planner predicted vs. what the run
 /// measured, one record per executed query.
 struct PlanValidation {
@@ -37,11 +50,22 @@ struct PlanValidation {
   double predicted_gh = 0;  // model total for Grace Hash, seconds
   double predicted = 0;     // model total for the chosen algorithm
   double measured = 0;      // simulated/real elapsed seconds
+  /// Per-stage model terms vs critical-path attribution (may be empty
+  /// when no trace was assembled for the run).
+  std::vector<StageAccuracy> stages;
 
   /// measured / predicted; 0 when the prediction is degenerate.
   double error_ratio() const {
     return predicted > 0 ? measured / predicted : 0.0;
   }
+};
+
+/// One sampled counter track: (virtual time, value) points recorded by the
+/// sim-time occupancy sampler at fixed intervals. Exported as Chrome
+/// trace-event counter tracks.
+struct TimeSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
 };
 
 /// A log line routed into the observability sink (Warn and above).
@@ -62,6 +86,12 @@ class ObsContext {
   Registry registry;
   Tracer tracer;
 
+  /// Sampling interval for the sim-time occupancy sampler, in virtual
+  /// seconds. 0 (the default) disables sampling entirely; the joins only
+  /// spawn the sampler coroutine when this is positive, so the default
+  /// event schedule is untouched.
+  double sample_interval = 0;
+
   const Clock* clock() const { return clock_; }
 
   void add_event(std::string_view level, std::string message);
@@ -69,6 +99,20 @@ class ObsContext {
 
   void add_plan_validation(PlanValidation pv);
   std::vector<PlanValidation> plan_validations() const;
+  /// Back-fills per-stage accuracies on the most recent validation record
+  /// (the trace DAG is only assembled after the run returns).
+  void set_last_plan_stages(std::vector<StageAccuracy> stages);
+
+  /// Appends one point to the named counter track (creates it on first
+  /// use). `t` is the context clock's virtual time.
+  void add_sample(std::string_view series, double t, double v);
+  std::vector<TimeSeries> time_series() const;
+
+  /// Fresh trace id for one query's TraceContext (1-based; monotonic per
+  /// context).
+  std::uint64_t next_trace_id() {
+    return trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
  private:
   static constexpr std::size_t kMaxEvents = 1024;
@@ -77,6 +121,8 @@ class ObsContext {
   std::deque<LogEvent> events_;
   std::uint64_t events_dropped_ = 0;
   std::vector<PlanValidation> plan_validations_;
+  std::vector<TimeSeries> series_;
+  std::atomic<std::uint64_t> trace_ids_{0};
 };
 
 /// Installs `ctx` as the process-wide context (nullptr uninstalls). The

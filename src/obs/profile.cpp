@@ -109,6 +109,23 @@ std::string ExecutionProfile::to_json() const {
     w.value(plan.measured);
     w.key("error_ratio");
     w.value(plan.error_ratio());
+    if (!plan.stages.empty()) {
+      w.key("stages");
+      w.begin_array();
+      for (const auto& sa : plan.stages) {
+        w.begin_object();
+        w.key("stage");
+        w.value(sa.stage);
+        w.key("predicted");
+        w.value(sa.predicted);
+        w.key("measured");
+        w.value(sa.measured);
+        w.key("error_ratio");
+        w.value(sa.error_ratio());
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_object();

@@ -10,11 +10,24 @@ namespace orv::obs {
 
 class SimClock final : public Clock {
  public:
+  /// An unbound clock reads 0 and freezes at the last engine time once
+  /// unbound. Declaring the clock (and the ObsContext holding it) before
+  /// the engine lets span destructors fire safely during ~Engine teardown
+  /// of abandoned coroutine frames.
+  SimClock() = default;
   explicit SimClock(const sim::Engine& engine) : engine_(&engine) {}
-  double now() const override { return engine_->now(); }
+
+  void bind(const sim::Engine& engine) { engine_ = &engine; }
+  void unbind() {
+    if (engine_) frozen_ = engine_->now();
+    engine_ = nullptr;
+  }
+
+  double now() const override { return engine_ ? engine_->now() : frozen_; }
 
  private:
-  const sim::Engine* engine_;
+  const sim::Engine* engine_ = nullptr;
+  double frozen_ = 0;
 };
 
 }  // namespace orv::obs

@@ -1,5 +1,7 @@
 #include "obs/span.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace orv::obs {
@@ -17,13 +19,27 @@ SpanId Tracer::begin(std::string_view name, SpanId parent) {
 }
 
 double Tracer::end(SpanId id) {
-  const double t = clock_ ? clock_->now() : 0.0;
+  return end_at(id, clock_ ? clock_->now() : 0.0);
+}
+
+double Tracer::end_at(SpanId id, double at) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!id || id.value > spans_.size()) return 0;
   SpanRecord& rec = spans_[id.value - 1];
   if (rec.closed()) return rec.duration();
-  rec.end = t;
+  rec.end = std::max(at, rec.start);
   return rec.duration();
+}
+
+double Tracer::end_orphaned(SpanId id) {
+  tag(id, "orphaned", std::uint64_t{1});
+  return end(id);
+}
+
+void Tracer::link(SpanId id, SpanId remote_parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!id || id.value > spans_.size()) return;
+  spans_[id.value - 1].link = remote_parent;
 }
 
 void Tracer::tag(SpanId id, std::string_view key, std::string value) {
@@ -43,6 +59,15 @@ void Tracer::tag(SpanId id, std::string_view key, std::uint64_t value) {
 std::size_t Tracer::num_spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_.size();
+}
+
+std::size_t Tracer::num_open_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t open = 0;
+  for (const auto& s : spans_) {
+    if (!s.closed()) ++open;
+  }
+  return open;
 }
 
 std::vector<SpanRecord> Tracer::snapshot() const {

@@ -21,6 +21,7 @@
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
+#include "qes/sampler.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 #include "sim/event.hpp"
@@ -30,11 +31,15 @@ namespace orv {
 namespace {
 
 /// A batch of packed records of one table, routed to one compute node.
+/// `trace` carries the sender's span across the node boundary: the
+/// receiver's per-batch ingest span records it as its causal link, which
+/// is what stitches the h1 transfer into one cross-node DAG.
 struct Batch {
   bool left = true;
   std::uint32_t src_node = 0;
   std::uint32_t rows = 0;
   std::vector<std::byte> bytes;
+  obs::TraceContext trace;
 };
 
 struct GhShared {
@@ -77,6 +82,18 @@ struct GhShared {
   std::uint64_t fetch_retries = 0;
   std::uint64_t rows_repartitioned = 0;
   std::uint64_t compute_nodes_lost = 0;
+
+  // Trace-context plumbing + occupancy-sampler lifecycle (mirrors the
+  // Indexed Join): the query completes when the last compute node
+  // finishes, and that instant — not the sampler's trailing tick — is the
+  // measured elapsed time.
+  std::uint64_t trace_id = 0;
+  obs::SpanId query_span;
+  bool sampling = false;
+  bool done = false;
+  double finished_at = -1;
+  std::size_t computes_left = 0;
+  ProbeSet probes;
 };
 
 /// Routing chain for one row: candidate k is h1 re-salted k times; the
@@ -105,13 +122,18 @@ std::size_t chain_dest(const JoinKey& key, const std::byte* row,
 /// fault-free path and in round 0).
 class Partitioner {
  public:
+  /// `parent` is the sending task's partition/repartition span: every
+  /// per-batch send span nests under it and rides the Batch to the
+  /// receiver.
   Partitioner(GhShared& sh, bool left, std::uint32_t src,
-              const Schema& schema, std::vector<char> dead = {})
+              const Schema& schema, obs::SpanId parent,
+              std::vector<char> dead = {})
       : sh_(sh),
         left_(left),
         src_(src),
         record_size_(schema.record_size()),
         key_(JoinKey::resolve(schema, sh.query.join_attrs)),
+        parent_(parent),
         dead_(std::move(dead)),
         buffers_(sh.to_compute.size()) {}
 
@@ -165,7 +187,11 @@ class Partitioner {
     batch.bytes = std::move(buffers_[dest]);
     buffers_[dest].clear();
     const double batch_bytes = static_cast<double>(batch.bytes.size());
+    auto* ctx = obs::context();
+    obs::StageScope send_stage(ctx, "gh.send", parent_);
+    batch.trace = obs::TraceContext{sh_.trace_id, send_stage.id()};
     auto* inj = fault::context();
+    std::uint64_t retransmits = 0;
     while (true) {
       // Egress (source NIC + switch) is charged here, pacing the sender;
       // the receiver charges its own NIC + bucket write when it processes
@@ -176,9 +202,13 @@ class Partitioner {
         const auto act = inj->on_message(src_, dest);
         if (act.drop) {
           // Lost on the wire: the sender notices via timeout and resends,
-          // so drops cost virtual time but never data.
+          // so drops cost virtual time but never data. The retransmit
+          // edge gets its own span so trace assembly can see retries.
+          obs::StageScope retrans(ctx, "gh.retransmit", send_stage.id());
           co_await sh_.cluster.engine().sleep(
               inj->plan().retransmit_timeout);
+          retrans.close();
+          ++retransmits;
           continue;
         }
         if (act.delay > 0) {
@@ -188,6 +218,7 @@ class Partitioner {
       co_await sh_.to_compute[dest]->send(std::move(batch));
       break;
     }
+    if (retransmits > 0) send_stage.tag("retransmits", retransmits);
   }
 
   GhShared& sh_;
@@ -195,6 +226,7 @@ class Partitioner {
   std::uint32_t src_;
   std::size_t record_size_;
   JoinKey key_;
+  obs::SpanId parent_;
   std::vector<char> dead_;
   std::vector<std::vector<std::byte>> buffers_;
 };
@@ -203,7 +235,7 @@ class Partitioner {
 /// fetches get: transient injected read errors retry; a permanently lost
 /// storage node surfaces as a clean FaultError.
 sim::Task<std::shared_ptr<const SubTable>> produce_with_retry(
-    GhShared& sh, std::size_t node, SubTableId id) {
+    GhShared& sh, std::size_t node, SubTableId id, obs::TraceContext rpc) {
   auto* inj = fault::context();
   const fault::RetryPolicy policy =
       inj ? inj->plan().retry : fault::RetryPolicy{};
@@ -212,7 +244,7 @@ sim::Task<std::shared_ptr<const SubTable>> produce_with_retry(
       co_await sh.cluster.engine().sleep(policy.backoff(attempt));
     }
     try {
-      co_return co_await sh.bds.instance(node).produce(id);
+      co_return co_await sh.bds.instance(node).produce(id, rpc);
     } catch (const IoError& e) {
       if (!inj) throw;  // genuine device error: not ours to mask
       if (attempt + 1 >= policy.max_attempts) {
@@ -231,10 +263,11 @@ sim::Task<std::shared_ptr<const SubTable>> produce_with_retry(
 /// disk reads pipeline behind partitioning/sending (read-ahead; this is
 /// what hides the chunk reads inside the model's Transfer term).
 sim::Task<> gh_reader(GhShared& sh, std::size_t node, TableId table,
-                      sim::Channel<std::shared_ptr<const SubTable>>& out) {
+                      sim::Channel<std::shared_ptr<const SubTable>>& out,
+                      obs::TraceContext rpc) {
   for (const auto& cm : sh.meta.chunks(table)) {
     if (cm.location.storage_node != node) continue;
-    auto st = co_await produce_with_retry(sh, node, cm.id);
+    auto st = co_await produce_with_retry(sh, node, cm.id, rpc);
     co_await out.send(std::move(st));
   }
   out.close();
@@ -242,19 +275,20 @@ sim::Task<> gh_reader(GhShared& sh, std::size_t node, TableId table,
 
 /// Storage-node QES: stream local chunks of both tables through h1.
 sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
-  obs::StageScope stage(obs::context(), "gh.partition");
+  obs::StageScope stage(obs::context(), "gh.partition", sh.query_span);
   stage.tag("storage_node", static_cast<std::uint64_t>(node));
   Partitioner left_part(sh, true, static_cast<std::uint32_t>(node),
-                        *sh.left_schema);
+                        *sh.left_schema, stage.id());
   Partitioner right_part(sh, false, static_cast<std::uint32_t>(node),
-                         *sh.right_schema);
+                         *sh.right_schema, stage.id());
 
   auto stream_table = [](GhShared& s, std::size_t n, TableId table,
-                         Partitioner& part) -> sim::Task<> {
+                         Partitioner& part,
+                         obs::SpanId parent) -> sim::Task<> {
     sim::Channel<std::shared_ptr<const SubTable>> queue(s.cluster.engine(),
                                                         2);
     auto reader = s.cluster.engine().spawn(
-        gh_reader(s, n, table, queue),
+        gh_reader(s, n, table, queue, obs::TraceContext{s.trace_id, parent}),
         strformat("gh-reader-%zu-t%u", n, table));
     while (true) {
       auto st = co_await queue.recv();
@@ -270,9 +304,10 @@ sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
     co_await reader.join();
   };
 
-  co_await stream_table(sh, node, sh.query.left_table, left_part);
+  co_await stream_table(sh, node, sh.query.left_table, left_part, stage.id());
   co_await left_part.flush_all();
-  co_await stream_table(sh, node, sh.query.right_table, right_part);
+  co_await stream_table(sh, node, sh.query.right_table, right_part,
+                        stage.id());
   co_await right_part.flush_all();
   done.count_down();
 }
@@ -285,19 +320,20 @@ sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
 sim::Task<> gh_repartition(GhShared& sh, std::size_t node,
                            std::vector<char> prev_dead,
                            std::vector<char> dead) {
-  obs::StageScope stage(obs::context(), "gh.repartition");
+  obs::StageScope stage(obs::context(), "gh.repartition", sh.query_span);
   stage.tag("storage_node", static_cast<std::uint64_t>(node));
   Partitioner left_part(sh, true, static_cast<std::uint32_t>(node),
-                        *sh.left_schema, dead);
+                        *sh.left_schema, stage.id(), dead);
   Partitioner right_part(sh, false, static_cast<std::uint32_t>(node),
-                         *sh.right_schema, dead);
+                         *sh.right_schema, stage.id(), dead);
 
   auto resend_table = [](GhShared& s, std::size_t n, TableId table,
-                         Partitioner& part,
-                         const std::vector<char>& prev) -> sim::Task<> {
+                         Partitioner& part, const std::vector<char>& prev,
+                         obs::SpanId parent) -> sim::Task<> {
     for (const auto& cm : s.meta.chunks(table)) {
       if (cm.location.storage_node != n) continue;
-      auto st = co_await produce_with_retry(s, n, cm.id);
+      auto st = co_await produce_with_retry(
+          s, n, cm.id, obs::TraceContext{s.trace_id, parent});
       if (!s.query.ranges.empty()) {
         const SubTable filtered =
             filter_rows(*st, st->schema(), s.query.ranges);
@@ -308,10 +344,11 @@ sim::Task<> gh_repartition(GhShared& sh, std::size_t node,
     }
   };
 
-  co_await resend_table(sh, node, sh.query.left_table, left_part, prev_dead);
+  co_await resend_table(sh, node, sh.query.left_table, left_part, prev_dead,
+                        stage.id());
   co_await left_part.flush_all();
-  co_await resend_table(sh, node, sh.query.right_table, right_part,
-                        prev_dead);
+  co_await resend_table(sh, node, sh.query.right_table, right_part, prev_dead,
+                        stage.id());
   co_await right_part.flush_all();
 }
 
@@ -388,6 +425,18 @@ sim::Task<> gh_coordinator(GhShared& sh, sim::Latch& storage_done) {
 /// Compute-node QES: receive + h2-split into scratch buckets, barrier-free
 /// within the node (its channel drains), then join bucket pairs.
 sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
+  // The query is over when the last compute node finishes (or unwinds);
+  // recording that instant on every exit path is what lets the sampler's
+  // done flag flip and the trailing tick stay out of the measured time.
+  struct Finished {
+    GhShared& sh;
+    ~Finished() {
+      if (--sh.computes_left == 0) {
+        sh.done = true;
+        sh.finished_at = sh.cluster.engine().now();
+      }
+    }
+  } finished{sh};
   const auto& hw = sh.cluster.spec().hw;
   const double factor = sh.options.cpu_work_factor;
   auto& cpu = sh.cluster.compute_cpu(node);
@@ -412,8 +461,23 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   // draining (black hole) so senders never block on a dead destination.
   auto* ctx = obs::context();
   auto* inj = fault::context();
-  obs::StageScope recv_stage(ctx, "gh.receive");
+  obs::StageScope recv_stage(ctx, "gh.receive", sh.query_span);
   recv_stage.tag("node", static_cast<std::uint64_t>(node));
+  ProbeGuard node_probes(sh.probes);
+  if (sh.sampling) {
+    // Channel depth is read through the persistent unique_ptr slot, which
+    // stays valid across recovery-round channel swaps.
+    node_probes.add(strformat("gh.channel_depth[%zu]", node),
+                    [&sh, node] { return static_cast<double>(
+                        sh.to_compute[node]->size()); });
+    node_probes.add(strformat("gh.bucket_bytes[%zu]", node),
+                    [&left_buckets, &right_buckets] {
+                      double total = 0;
+                      for (const auto& b : left_buckets) total += b.size();
+                      for (const auto& b : right_buckets) total += b.size();
+                      return total;
+                    });
+  }
   // Hot-loop counters resolved once; the registry reference stays valid
   // for the context's lifetime.
   obs::Counter* batch_counter =
@@ -427,6 +491,9 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
     if (!i_am_dead && inj && inj->compute_down(node)) {
       i_am_dead = true;
       inj->note_crash_observed(fault::NodeKind::Compute, node);
+      // The receive span keeps draining (black hole) so it still closes at
+      // scope exit; the tag marks it as abandoned work for trace assembly.
+      if (ctx) ctx->tracer.tag(recv_stage.id(), "orphaned", std::uint64_t{1});
       for (auto& b : left_buckets) {
         b.clear();
         b.shrink_to_fit();
@@ -452,6 +519,14 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         batch_counter->add(1);
         batch_bytes_counter->add(batch.bytes.size());
       }
+      // Per-batch ingest span, causally linked to the sender's gh.send
+      // span: the link is the cross-node edge that stitches the h1
+      // transfer into one DAG (and lets critical-path analysis hop from a
+      // waiting receiver into the sender's time).
+      obs::StageScope ingest_stage(ctx, "gh.ingest", recv_stage.id());
+      if (ctx && batch.trace.parent) {
+        ctx->tracer.link(ingest_stage.id(), batch.trace.parent);
+      }
       if (sh.options.gh_double_buffer) {
         // Double-buffered spill: charge ingress, wait for the *previous*
         // batch's spill to drain, then reserve (not await) this one — the
@@ -460,6 +535,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         // outstanding write bounds the in-flight buffer to a batch.
         co_await sh.cluster.compute_ingress(
             node, static_cast<double>(batch.bytes.size()));
+        obs::StageScope spill_stage(ctx, "gh.spill", ingest_stage.id());
         co_await sh.cluster.engine().wait_until(spill_done);
         spill_done =
             scratch.reserve_write(static_cast<double>(batch.bytes.size()),
@@ -469,6 +545,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         // Transfer + Write behaviour the paper's implementation exhibits.
         co_await sh.cluster.compute_ingress(
             node, static_cast<double>(batch.bytes.size()));
+        obs::StageScope spill_stage(ctx, "gh.spill", ingest_stage.id());
         co_await scratch.write(static_cast<double>(batch.bytes.size()),
                                static_cast<std::uint32_t>(node));
       }
@@ -504,7 +581,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   }
 
   // --- Phase 2: join bucket pairs independently (no network). ---
-  obs::StageScope join_stage(ctx, "gh.bucket_join");
+  obs::StageScope join_stage(ctx, "gh.bucket_join", sh.query_span);
   join_stage.tag("node", static_cast<std::uint64_t>(node));
   join_stage.tag("buckets", static_cast<std::uint64_t>(sh.n_buckets));
   ChunkId out_seq = 0;
@@ -534,15 +611,20 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
       ctx->registry.counter("gh.bucket_readback_bytes")
           .add(static_cast<std::uint64_t>(bucket_bytes));
     }
-    if (sh.options.gh_double_buffer) {
-      const sim::Time ready = next_read_done;
-      if (t + 1 < todo.size()) {
-        next_read_done = scratch.reserve_read(
-            bucket_size(todo[t + 1]), static_cast<std::uint32_t>(node));
+    {
+      obs::StageScope read_stage(ctx, "gh.bucket_read", join_stage.id());
+      read_stage.tag("bucket", static_cast<std::uint64_t>(b));
+      if (sh.options.gh_double_buffer) {
+        const sim::Time ready = next_read_done;
+        if (t + 1 < todo.size()) {
+          next_read_done = scratch.reserve_read(
+              bucket_size(todo[t + 1]), static_cast<std::uint32_t>(node));
+        }
+        co_await sh.cluster.engine().wait_until(ready);
+      } else {
+        co_await scratch.read(bucket_bytes,
+                              static_cast<std::uint32_t>(node));
       }
-      co_await sh.cluster.engine().wait_until(ready);
-    } else {
-      co_await scratch.read(bucket_bytes, static_cast<std::uint32_t>(node));
     }
 
     SubTable left(sh.left_schema, SubTableId{sh.query.left_table, 0});
@@ -550,10 +632,14 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
     SubTable right(sh.right_schema, SubTableId{sh.query.right_table, 0});
     right.adopt_bytes(std::move(right_buckets[b]));
 
-    co_await cpu.use(factor * (hw.gamma_build *
-                                   static_cast<double>(left.num_rows()) +
-                               hw.gamma_lookup *
-                                   static_cast<double>(right.num_rows())));
+    {
+      obs::StageScope cpu_stage(ctx, "gh.join", join_stage.id());
+      cpu_stage.tag("bucket", static_cast<std::uint64_t>(b));
+      co_await cpu.use(factor * (hw.gamma_build *
+                                     static_cast<double>(left.num_rows()) +
+                                 hw.gamma_lookup *
+                                     static_cast<double>(right.num_rows())));
+    }
 
     SubTable out(sh.result_schema, SubTableId{0, out_seq++});
     auto left_alias = std::shared_ptr<const SubTable>(&left, [](auto*) {});
@@ -640,6 +726,16 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   sh.drain_latch =
       std::make_unique<sim::Latch>(engine, cluster.num_compute());
   sh.round_gate = std::make_unique<sim::Event>(engine);
+  sh.computes_left = cluster.num_compute();
+
+  auto* octx = obs::context();
+  if (octx) {
+    sh.trace_id = octx->next_trace_id();
+    sh.query_span = octx->tracer.begin("gh.query");
+    octx->tracer.tag(sh.query_span, "trace_id", sh.trace_id);
+    octx->tracer.tag(sh.query_span, "algorithm", std::string("grace_hash"));
+    sh.sampling = octx->sample_interval > 0;
+  }
 
   const double net0 = cluster.network_bytes();
   const double sread0 = storage_read_total(cluster);
@@ -659,13 +755,30 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
     handles.push_back(
         engine.spawn(gh_compute(sh, j), strformat("gh-compute-%zu", j)));
   }
-  engine.run();
+  sim::JoinHandle sampler;
+  if (sh.sampling) {
+    sampler = engine.spawn(occupancy_sampler(cluster, octx, sh.probes,
+                                             &sh.done),
+                           "gh-sampler");
+  }
+  try {
+    engine.run();
+  } catch (...) {
+    // The query died (e.g. every compute node crashed): close the root
+    // span so a failed query never leaves dangling spans behind.
+    if (octx) octx->tracer.end_orphaned(sh.query_span);
+    throw;
+  }
   for (const auto& h : handles) {
     ORV_CHECK(h.done(), "GH process did not finish");
   }
 
   QesResult result;
-  result.elapsed = engine.now() - start;
+  // With the sampler on, the engine runs one trailing tick past query
+  // completion; the last compute node's finish time is the real elapsed.
+  result.elapsed =
+      (sh.sampling && sh.finished_at >= 0 ? sh.finished_at : engine.now()) -
+      start;
   result.partition_phase = sh.partition_phase_end - start;
   result.join_phase = result.elapsed - result.partition_phase;
   result.result_tuples = sh.result_tuples;
@@ -694,6 +807,7 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
     ctx->registry.gauge("gh.join_phase_seconds").set(result.join_phase);
     ctx->registry.gauge("gh.elapsed_seconds").set(result.elapsed);
   }
+  if (octx) octx->tracer.end_at(sh.query_span, start + result.elapsed);
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
+#include "qes/sampler.hpp"
 #include "sim/channel.hpp"
 #include "sim/engine.hpp"
 
@@ -85,6 +86,17 @@ struct IjShared {
 
   // Per-node "ij.node" span ids; parents for fetch/build/probe spans.
   std::vector<obs::SpanId> node_spans;
+
+  // Trace-context plumbing: the query's trace id and root span, the
+  // supervisor span node spans parent on, and the supervisor's completion
+  // signal for the occupancy sampler (which must not keep the engine
+  // alive, and whose trailing tick must not inflate `elapsed`).
+  std::uint64_t trace_id = 0;
+  obs::SpanId query_span;
+  bool sampling = false;
+  bool done = false;
+  double finished_at = -1;
+  ProbeSet probes;
 };
 
 void merge_cache_stats(CachingService::Stats& into,
@@ -105,9 +117,10 @@ void merge_cache_stats(CachingService::Stats& into,
 /// id and surfaces a clean FaultError.
 sim::Task<std::shared_ptr<const SubTable>> fetch_subtable(
     IjShared& sh, SubTableId id, std::size_t node, bool raw,
-    CachingService& cache) {
+    CachingService& cache, obs::SpanId* fetch_span = nullptr) {
   ++sh.fetches;
   obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
+  if (fetch_span) *fetch_span = stage.id();
   auto* inj = fault::context();
   const fault::RetryPolicy policy =
       inj ? inj->plan().retry : fault::RetryPolicy{};
@@ -119,12 +132,15 @@ sim::Task<std::shared_ptr<const SubTable>> fetch_subtable(
     }
     try {
       std::shared_ptr<const SubTable> st;
+      const obs::TraceContext rpc{sh.trace_id, stage.id()};
+      if (attempt > 0) stage.tag("retry", static_cast<std::uint64_t>(attempt));
       if (pushdown) {
         // Selection pushed to the storage node: fewer bytes on the wire.
         st = co_await sh.bds.instance_for(id).fetch_to_compute(
-            id, node, &sh.query.ranges);
+            id, node, &sh.query.ranges, rpc);
       } else {
-        st = co_await sh.bds.instance_for(id).fetch_to_compute(id, node);
+        st = co_await sh.bds.instance_for(id).fetch_to_compute(id, node,
+                                                               nullptr, rpc);
       }
       if (!raw && !pushdown && !sh.query.ranges.empty()) {
         st = std::make_shared<const SubTable>(
@@ -164,6 +180,14 @@ struct IjPrefetchState {
   /// occurrences: when the walk reaches such an id it spends a credit
   /// instead of pinning again. Unspent credits are released on shutdown.
   std::unordered_map<SubTableId, std::uint32_t, SubTableIdHash> credits;
+  /// Span of the fetch that made pair i ready (0 = cache hit). The
+  /// consumer links its ij.wait span to it, giving critical-path analysis
+  /// the causal edge from a starved join loop into the prefetcher's
+  /// transfer time.
+  std::vector<obs::SpanId> pair_fetch_span;
+  /// Batch fetch span backing each outstanding credit, so credit-spending
+  /// pairs still point at the fetch that actually moved their bytes.
+  std::unordered_map<SubTableId, obs::SpanId, SubTableIdHash> credit_span;
 };
 
 /// Ensures `id` (needed by pairs[pair_idx]) is resident and holds one pin
@@ -177,6 +201,9 @@ sim::Task<> ij_prefetch_fetch(IjShared& sh, std::size_t node, bool raw,
                               std::size_t pair_idx, SubTableId id) {
   if (auto it = ps.credits.find(id); it != ps.credits.end() && it->second > 0) {
     --it->second;  // an earlier batch already pinned this occurrence
+    if (auto cs = ps.credit_span.find(id); cs != ps.credit_span.end()) {
+      ps.pair_fetch_span[pair_idx] = cs->second;
+    }
     co_return;
   }
   if (cache.pin(id)) co_return;  // resident: pin is all we need
@@ -233,13 +260,15 @@ sim::Task<> ij_prefetch_fetch(IjShared& sh, std::size_t node, bool raw,
     }
     obs::StageScope stage(obs::context(), "ij.fetch", sh.node_spans[node]);
     stage.tag("batch", static_cast<std::uint64_t>(batch.size()));
+    ps.pair_fetch_span[pair_idx] = stage.id();
     sh.fetches += batch.size();
     const bool pushdown =
         !raw && sh.options.pushdown_selection && !sh.query.ranges.empty();
     auto tables =
         co_await sh.bds.instance(loc.storage_node)
             .fetch_batch_to_compute(batch, node,
-                                    pushdown ? &sh.query.ranges : nullptr);
+                                    pushdown ? &sh.query.ranges : nullptr,
+                                    obs::TraceContext{sh.trace_id, stage.id()});
     for (std::size_t i = 0; i < batch.size(); ++i) {
       auto st = std::move(tables[i]);
       if (!raw && !pushdown && !sh.query.ranges.empty()) {
@@ -247,12 +276,17 @@ sim::Task<> ij_prefetch_fetch(IjShared& sh, std::size_t node, bool raw,
             filter_rows(*st, st->schema(), sh.query.ranges));
       }
       cache.put_pinned(batch[i], std::move(st));
-      if (i > 0) ++ps.credits[batch[i]];
+      if (i > 0) {
+        ++ps.credits[batch[i]];
+        ps.credit_span[batch[i]] = stage.id();
+      }
     }
     sh.prefetch_issued += batch.size();
   } else {
-    auto st = co_await fetch_subtable(sh, id, node, raw, cache);
+    obs::SpanId fetch_span;
+    auto st = co_await fetch_subtable(sh, id, node, raw, cache, &fetch_span);
     cache.put_pinned(id, std::move(st));
+    ps.pair_fetch_span[pair_idx] = fetch_span;
     ++sh.prefetch_issued;
   }
   sh.fetch_busy += sh.cluster.engine().now() - t0;
@@ -305,7 +339,8 @@ sim::Task<> ij_prefetcher(IjShared& sh, std::size_t node, bool raw,
 }
 
 sim::Task<> ij_node(IjShared& sh, std::size_t node,
-                    std::vector<SubTablePair> pairs) {
+                    std::vector<SubTablePair> pairs, obs::TraceContext rpc,
+                    std::uint64_t round) {
   const auto& hw = sh.cluster.spec().hw;
   const double factor = sh.options.cpu_work_factor;
   const std::uint64_t capacity = sh.options.cache_bytes
@@ -324,10 +359,20 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   auto& cpu = sh.cluster.compute_cpu(node);
   ChunkId out_seq = 0;
 
-  obs::StageScope node_stage(obs::context(), "ij.node");
+  obs::StageScope node_stage(obs::context(), "ij.node", rpc.parent);
   node_stage.tag("node", static_cast<std::uint64_t>(node));
   node_stage.tag("pairs", static_cast<std::uint64_t>(pairs.size()));
+  if (round > 0) node_stage.tag("round", round);
   sh.node_spans[node] = node_stage.id();
+
+  ProbeGuard node_probes(sh.probes);
+  if (sh.sampling) {
+    node_probes.add(strformat("cache.bytes[%zu]", node),
+                    [&cache] { return static_cast<double>(cache.used_bytes()); });
+    node_probes.add(strformat("cache.pins[%zu]", node), [&cache] {
+      return static_cast<double>(cache.pinned_count());
+    });
+  }
 
   auto* inj = fault::context();
   bool died = false;
@@ -336,6 +381,13 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     // Pipelined path: the prefetcher fetches + pins ahead while this loop
     // builds and probes, overlapping Transfer with Cpu.
     IjPrefetchState ps(sh.cluster.engine(), sh.options.prefetch_lookahead);
+    ps.pair_fetch_span.resize(pairs.size());
+    ProbeGuard ch_probe(sh.probes);
+    if (sh.sampling) {
+      ch_probe.add(strformat("prefetch.depth[%zu]", node), [&ps] {
+        return static_cast<double>(ps.ch.size());
+      });
+    }
     const sim::JoinHandle pf = sh.cluster.engine().spawn(
         ij_prefetcher(sh, node, persistent, cache, pairs, ps),
         strformat("ij-prefetch-%zu", node));
@@ -344,7 +396,20 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     try {
       for (;;) {
         const double wait_from = sh.cluster.engine().now();
+        // Consumer starvation on the bounded lookahead window: the walk
+        // classifies this as cache-wait time on the critical path.
+        obs::StageScope wait_stage(obs::context(), "ij.wait",
+                                   node_stage.id());
         const auto idx = co_await ps.ch.recv();
+        if (idx && ps.pair_fetch_span[*idx]) {
+          // Causal edge into the fetch this wait was actually blocked on:
+          // lets the critical path hop from a starved consumer into the
+          // prefetcher's transfer instead of booking it all as cache-wait.
+          if (auto* octx = obs::context()) {
+            octx->tracer.link(wait_stage.id(), ps.pair_fetch_span[*idx]);
+          }
+        }
+        wait_stage.close();
         if (!idx) break;  // prefetcher done (or failed: checked below)
         sh.consumer_wait += sh.cluster.engine().now() - wait_from;
         ORV_CHECK(*idx == next, "prefetched pairs must arrive in order");
@@ -516,6 +581,12 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
     // Everything from the abandoned pair on is orphaned work for the
     // supervisor to re-assign.
     sh.orphans.insert(sh.orphans.end(), pairs.begin() + next, pairs.end());
+    // The node span is about to close normally (RAII), but a trace
+    // consumer must be able to tell an abandoned stage from a completed
+    // one — mark it before the scope closes it.
+    if (auto* octx = obs::context()) {
+      octx->tracer.end_orphaned(node_stage.id());
+    }
   }
   // Report only this run's cache activity (session caches accumulate).
   CachingService::Stats delta = cache.stats();
@@ -537,8 +608,21 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
 sim::Task<> ij_supervisor(IjShared& sh,
                           std::vector<std::vector<SubTablePair>> work) {
   auto& engine = sh.cluster.engine();
+  // Every exit path (clean finish, all-nodes-lost FaultError) must stop
+  // the occupancy sampler and pin down the query's true completion time:
+  // a sampler tick after this frame unwinds advances engine.now() past it.
+  struct Finished {
+    IjShared& sh;
+    sim::Engine& engine;
+    ~Finished() {
+      sh.done = true;
+      sh.finished_at = engine.now();
+    }
+  } finished{sh, engine};
+  obs::StageScope sup_stage(obs::context(), "ij.supervisor", sh.query_span);
   std::vector<char> alive(work.size(), 1);
   bool first_round = true;
+  std::uint64_t round = 0;
   while (true) {
     std::vector<sim::JoinHandle> handles;
     for (std::size_t j = 0; j < work.size(); ++j) {
@@ -546,8 +630,10 @@ sim::Task<> ij_supervisor(IjShared& sh,
       // Round 0 spawns every node (even idle ones) so the fault-free run
       // is event-for-event identical to the pre-fault engine behaviour.
       if (!first_round && work[j].empty()) continue;
-      handles.push_back(engine.spawn(ij_node(sh, j, std::move(work[j])),
-                                     strformat("ij-node-%zu", j)));
+      handles.push_back(engine.spawn(
+          ij_node(sh, j, std::move(work[j]),
+                  obs::TraceContext{sh.trace_id, sup_stage.id()}, round),
+          strformat("ij-node-%zu", j)));
     }
     first_round = false;
     for (auto& h : handles) co_await h.join();
@@ -558,7 +644,10 @@ sim::Task<> ij_supervisor(IjShared& sh,
       }
       work[j].clear();
     }
-    if (sh.orphans.empty()) co_return;
+    if (sh.orphans.empty()) {
+      if (round > 0) sup_stage.tag("rounds", round + 1);
+      co_return;
+    }
     std::vector<SubTablePair> orphans = std::move(sh.orphans);
     sh.orphans.clear();
     sh.pairs_reassigned += orphans.size();
@@ -569,6 +658,7 @@ sim::Task<> ij_supervisor(IjShared& sh,
           "indexed join: every compute node crashed; query cannot complete");
     }
     work = redistribute_pairs(orphans, alive);
+    ++round;
   }
 }
 
@@ -631,13 +721,40 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   sh.node_spans.resize(cluster.num_compute());
   sh.dead.assign(cluster.num_compute(), 0);
   const double start = engine.now();
+  auto* octx = obs::context();
+  if (octx) {
+    sh.trace_id = octx->next_trace_id();
+    sh.query_span = octx->tracer.begin("ij.query");
+    octx->tracer.tag(sh.query_span, "trace_id", sh.trace_id);
+    octx->tracer.tag(sh.query_span, "algorithm", std::string("indexed_join"));
+    sh.sampling = octx->sample_interval > 0;
+  }
   const sim::JoinHandle sup = engine.spawn(
       ij_supervisor(sh, std::move(schedule.pairs_per_node)), "ij-supervisor");
-  engine.run();
+  sim::JoinHandle sampler;
+  if (sh.sampling) {
+    sampler = engine.spawn(occupancy_sampler(cluster, octx, sh.probes, &sh.done),
+                           "ij-sampler");
+  }
+  try {
+    engine.run();
+  } catch (...) {
+    // The query died (e.g. unrecoverable fault): close the root span so a
+    // failed query never leaves dangling spans behind.
+    if (octx) octx->tracer.end_orphaned(sh.query_span);
+    throw;
+  }
   ORV_CHECK(sup.done(), "IJ supervisor did not finish");
 
   QesResult result;
-  result.elapsed = engine.now() - start;
+  // With the sampler on, its trailing wake-up advances engine.now() past
+  // query completion; the supervisor recorded the true finish time.
+  result.elapsed =
+      (sh.sampling && sh.finished_at >= 0 ? sh.finished_at : engine.now()) -
+      start;
+  if (octx) {
+    octx->tracer.end_at(sh.query_span, start + result.elapsed);
+  }
   result.join_phase = result.elapsed;
   result.result_tuples = sh.result_tuples;
   result.result_fingerprint = sh.fingerprint;

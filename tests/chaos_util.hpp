@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,9 @@
 #include "datagen/generator.hpp"
 #include "fault/fault.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/obs.hpp"
+#include "obs/sim_clock.hpp"
+#include "obs/span.hpp"
 #include "qes/qes.hpp"
 #include "sim/engine.hpp"
 
@@ -99,6 +103,18 @@ struct ChaosRig {
   JoinQuery query;
   ConnectivityGraph graph;
 
+  /// Span snapshot of one traced run, deposited even when the run throws.
+  /// `open_spans` counts spans nobody closed — the chaos sweeps assert it
+  /// is zero, i.e. a crashed node's spans are ended (orphan-tagged), never
+  /// leaked.
+  struct TraceCapture {
+    std::vector<obs::SpanRecord> spans;
+    std::size_t open_spans = 0;
+  };
+  /// When set, run() executes under a fresh ObsContext on the run's
+  /// engine and deposits the tracer state here afterwards.
+  TraceCapture* capture = nullptr;
+
   explicit ChaosRig(std::uint64_t scenario_seed)
       : ChaosRig(make_scenario(scenario_seed)) {}
 
@@ -118,7 +134,52 @@ struct ChaosRig {
   /// propagate to the caller (sweeps catch them to record the seed).
   QesResult run(bool indexed_join, const fault::FaultPlan* plan = nullptr,
                 const QesOptions& options = {}) {
+    if (capture == nullptr) return run_inner(indexed_join, plan, options);
+    // Clock and context are declared BEFORE the engine: a failed query
+    // abandons coroutine frames that ~Engine destroys, and their span
+    // guards stamp end times through this clock on the way out. The
+    // Unbind guard (inside run_inner, declared after the engine) freezes
+    // the clock at the last engine time before the engine goes away.
+    obs::SimClock clock;
+    obs::ObsContext ctx(&clock);
+    try {
+      const QesResult r = run_inner(indexed_join, plan, options, &clock, &ctx);
+      deposit(ctx);
+      return r;
+    } catch (...) {
+      deposit(ctx);
+      throw;
+    }
+  }
+
+  ReferenceResult hash_reference() {
+    return reference_join(ds.meta, ds.stores, query);
+  }
+
+  ReferenceResult nested_loop() {
+    return nested_loop_reference(ds.meta, ds.stores, query);
+  }
+
+ private:
+  void deposit(obs::ObsContext& ctx) {
+    capture->spans = ctx.tracer.snapshot();
+    capture->open_spans = ctx.tracer.num_open_spans();
+  }
+
+  QesResult run_inner(bool indexed_join, const fault::FaultPlan* plan,
+                      const QesOptions& options,
+                      obs::SimClock* clock = nullptr,
+                      obs::ObsContext* ctx = nullptr) {
     sim::Engine engine;
+    if (clock) clock->bind(engine);
+    struct Unbind {
+      obs::SimClock* clock;
+      ~Unbind() {
+        if (clock) clock->unbind();
+      }
+    } unbind{clock};
+    std::optional<obs::ScopedInstall> install;
+    if (ctx) install.emplace(*ctx);
     Cluster cluster(engine, sc.cspec);
     BdsService bds(cluster, ds.meta, ds.stores);
     if (plan != nullptr) {
@@ -133,13 +194,6 @@ struct ChaosRig {
       return run_indexed_join(cluster, bds, ds.meta, graph, query, options);
     }
     return run_grace_hash(cluster, bds, ds.meta, query, options);
-  }
-
-  ReferenceResult hash_reference() {
-    return reference_join(ds.meta, ds.stores, query);
-  }
-  ReferenceResult nested_loop() {
-    return nested_loop_reference(ds.meta, ds.stores, query);
   }
 };
 

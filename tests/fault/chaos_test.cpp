@@ -13,9 +13,35 @@
 #include <gtest/gtest.h>
 
 #include "../chaos_util.hpp"
+#include "obs/trace.hpp"
 
 namespace orv {
 namespace {
+
+/// Structural invariants of one faulted run's trace: every span closed
+/// (crashed nodes orphan-tag theirs, nobody leaks), and the snapshot
+/// assembles into a DAG whose every parent/link edge resolves — retries
+/// and retransmits produce duplicate-looking child spans, never broken
+/// references.
+void check_trace(const char* algo, std::uint64_t seed,
+                 const chaos::ChaosRig::TraceCapture& cap) {
+  EXPECT_EQ(cap.open_spans, 0u)
+      << algo << " seed=" << seed << ": dangling spans left open";
+  const auto dag = obs::TraceDag::assemble(cap.spans);
+  EXPECT_EQ(dag.open_count(), 0u);
+  for (const auto& s : dag.spans()) {
+    if (s.parent) {
+      EXPECT_NE(dag.find(s.parent), nullptr)
+          << algo << " seed=" << seed << ": span " << s.name
+          << " has an unresolvable parent";
+    }
+    if (s.link) {
+      EXPECT_NE(dag.find(s.link), nullptr)
+          << algo << " seed=" << seed << ": span " << s.name
+          << " has an unresolvable link";
+    }
+  }
+}
 
 void chaos_sweep(bool indexed_join, const char* algo,
                  const QesOptions& options = {}) {
@@ -43,8 +69,11 @@ void chaos_sweep(bool indexed_join, const char* algo,
       continue;
     }
 
+    chaos::ChaosRig::TraceCapture cap;
+    rig.capture = &cap;  // faulted run is traced: no dangling spans allowed
     try {
       const QesResult faulted = rig.run(indexed_join, &plan, options);
+      check_trace(algo, seed, cap);
       if (faulted.result_fingerprint != baseline.result_fingerprint ||
           faulted.result_tuples != baseline.result_tuples) {
         const std::string line = chaos::describe_failure(
@@ -58,7 +87,9 @@ void chaos_sweep(bool indexed_join, const char* algo,
       if (faulted.degraded) ++degraded_runs;
     } catch (const fault::FaultError&) {
       // Clean, reported inability to complete — acceptable (e.g. the retry
-      // budget genuinely exhausted under a hostile io-error rate).
+      // budget genuinely exhausted under a hostile io-error rate). Even a
+      // failed query must close every span on the way down.
+      check_trace(algo, seed, cap);
       ++clean_failures;
     } catch (const std::exception& e) {
       const std::string line = chaos::describe_failure(
