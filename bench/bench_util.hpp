@@ -26,6 +26,7 @@
 #include "obs/profile.hpp"
 #include "obs/sim_clock.hpp"
 #include "obs/trace.hpp"
+#include "place/placement.hpp"
 #include "qes/qes.hpp"
 #include "qps/planner.hpp"
 #include "sim/engine.hpp"
@@ -264,6 +265,23 @@ inline ScenarioResult run_scenario(Scenario sc) {
   JoinQuery query{sc.data.table1_id, sc.data.table2_id, {"x", "y", "z"}, {}};
   const auto graph = ConnectivityGraph::build(
       ds.meta, query.left_table, query.right_table, query.join_attrs);
+
+  if (sc.cluster.colocated &&
+      sc.options.assign == ComponentAssign::PlacementAffinity) {
+    // Locality-aware model refinement (mirrors QueryPlanner::plan): fold
+    // the predicted schedule's node-local byte fraction into IJ transfer.
+    const Schedule predicted = make_schedule_placement_affinity(
+        graph, sc.cluster.num_compute, ds.meta, sc.cluster.num_storage,
+        sc.options.pair_order, sc.options.seed);
+    out.params.local_fraction =
+        schedule_local_fraction(predicted, ds.meta, sc.cluster.num_storage);
+    out.model_ij = sc.options.prefetch_lookahead > 0
+                       ? ij_cost_pipelined(out.params)
+                       : ij_cost(out.params);
+    out.planned = out.model_ij.total() <= out.model_gh.total()
+                      ? Algorithm::IndexedJoin
+                      : Algorithm::GraceHash;
+  }
 
   QesOptions options = sc.options;
   options.cpu_work_factor = sc.cpu_work_factor;

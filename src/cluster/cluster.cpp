@@ -66,6 +66,14 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
     compute_nics_.push_back(std::make_unique<sim::Resource>(
         engine_, strformat("cnic%zu", j), hw.nic_bw));
   }
+  if (spec_.colocated) {
+    ORV_REQUIRE(hw.local_bus_bw > 0,
+                "colocated mode needs a positive local bus bandwidth");
+    for (std::size_t j = 0; j < spec_.num_compute; ++j) {
+      local_buses_.push_back(std::make_unique<sim::Resource>(
+          engine_, strformat("lbus%zu", j), hw.local_bus_bw));
+    }
+  }
 }
 
 Disk& Cluster::storage_disk(std::size_t i) {
@@ -108,6 +116,7 @@ std::string Cluster::utilization_report() const {
   for (const auto& r : compute_cpus_) line(r->name(), r->busy_time());
   for (const auto& r : storage_nics_) line(r->name(), r->busy_time());
   for (const auto& r : compute_nics_) line(r->name(), r->busy_time());
+  for (const auto& r : local_buses_) line(r->name(), r->busy_time());
   line(switch_.name(), switch_.busy_time());
   return out;
 }
@@ -120,6 +129,12 @@ sim::Resource* Cluster::storage_nic(std::size_t i) {
 sim::Resource* Cluster::compute_nic(std::size_t j) {
   ORV_REQUIRE(j < compute_nics_.size(), "compute node index out of range");
   return compute_nics_[j].get();
+}
+
+sim::Resource* Cluster::local_bus(std::size_t j) {
+  ORV_REQUIRE(spec_.colocated, "local buses exist only in colocated mode");
+  ORV_REQUIRE(j < local_buses_.size(), "compute node index out of range");
+  return local_buses_[j].get();
 }
 
 }  // namespace orv

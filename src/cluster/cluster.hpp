@@ -86,6 +86,14 @@ struct ClusterSpec {
 
   /// Fig. 9: one shared NFS server serves all I/O; no local scratch disks.
   bool shared_filesystem = false;
+
+  /// Converged deployment: compute node j is co-located with storage node
+  /// j mod n_s, and a transfer between a co-located pair moves over the
+  /// node's local bus (hw.local_bus_bw) instead of NIC + switch + NIC.
+  /// Placement-aware scheduling (ComponentAssign::PlacementAffinity over a
+  /// GraphPartitioned layout) exists to maximize such local transfers.
+  /// Off by default: the paper's testbed keeps storage and compute apart.
+  bool colocated = false;
 };
 
 class Cluster {
@@ -111,20 +119,42 @@ class Cluster {
   /// Storage node i's CPU (extraction and hashing work on storage nodes).
   sim::Resource& storage_cpu(std::size_t i);
 
+  /// True iff a storage->compute transfer between i and j stays inside one
+  /// physical node (colocated mode, pairing j mod n_s — the same predicate
+  /// as place::colocated_pair).
+  bool is_local(std::size_t i, std::size_t j) const {
+    return spec_.colocated && spec_.num_storage > 0 &&
+           i == j % spec_.num_storage;
+  }
+
   /// Awaitable transfer of `bytes` from storage node i to compute node j:
-  /// parallel reservation over source NIC, switch, destination NIC.
+  /// parallel reservation over source NIC, switch, destination NIC — or the
+  /// node-local bus when the pair is colocated.
   auto transfer_storage_to_compute(std::size_t i, std::size_t j,
                                    double bytes) {
-    sim::Resource* path[3] = {storage_nic(i), &switch_, compute_nic(j)};
     net_bytes_ += bytes;
+    if (is_local(i, j)) {
+      local_bytes_ += bytes;
+      sim::Resource* path[1] = {local_bus(j)};
+      return sim::transfer(engine_, std::span<sim::Resource* const>(path, 1),
+                           bytes);
+    }
+    switch_bytes_ += bytes;
+    sim::Resource* path[3] = {storage_nic(i), &switch_, compute_nic(j)};
     return sim::transfer(engine_, std::span<sim::Resource* const>(path, 3),
                          bytes);
   }
 
   /// Non-awaiting reservation of the storage->compute network path.
   sim::Time reserve_transfer(std::size_t i, std::size_t j, double bytes) {
-    sim::Resource* path[3] = {storage_nic(i), &switch_, compute_nic(j)};
     net_bytes_ += bytes;
+    if (is_local(i, j)) {
+      local_bytes_ += bytes;
+      sim::Resource* path[1] = {local_bus(j)};
+      return sim::reserve_all(std::span<sim::Resource* const>(path, 1), bytes);
+    }
+    switch_bytes_ += bytes;
+    sim::Resource* path[3] = {storage_nic(i), &switch_, compute_nic(j)};
     return sim::reserve_all(std::span<sim::Resource* const>(path, 3), bytes);
   }
 
@@ -134,6 +164,7 @@ class Cluster {
   auto storage_egress(std::size_t i, double bytes) {
     sim::Resource* path[2] = {storage_nic(i), &switch_};
     net_bytes_ += bytes;
+    switch_bytes_ += bytes;
     return sim::transfer(engine_, std::span<sim::Resource* const>(path, 2),
                          bytes);
   }
@@ -149,7 +180,16 @@ class Cluster {
   sim::Resource* compute_nic(std::size_t j);
   sim::Resource& network_switch() { return switch_; }
 
+  /// Compute node j's intra-node bus (colocated mode only).
+  sim::Resource* local_bus(std::size_t j);
+
   double network_bytes() const { return net_bytes_; }
+  /// Bytes that crossed the switch (storage->compute remote transfers plus
+  /// shuffle egress). switch_bytes() + local_bytes() need not equal
+  /// network_bytes(): ingress-only charges count toward neither.
+  double switch_bytes() const { return switch_bytes_; }
+  /// Bytes moved over a colocated pair's local bus.
+  double local_bytes() const { return local_bytes_; }
 
   /// Per-compute-node cache capacity in bytes.
   std::uint64_t memory_bytes() const { return spec_.hw.memory_bytes; }
@@ -169,8 +209,11 @@ class Cluster {
   std::vector<std::unique_ptr<sim::Resource>> compute_cpus_;
   std::vector<std::unique_ptr<sim::Resource>> storage_nics_;
   std::vector<std::unique_ptr<sim::Resource>> compute_nics_;
+  std::vector<std::unique_ptr<sim::Resource>> local_buses_;  // colocated only
   sim::Resource switch_;
   double net_bytes_ = 0;
+  double switch_bytes_ = 0;
+  double local_bytes_ = 0;
 };
 
 }  // namespace orv

@@ -11,6 +11,7 @@ HardwareProfile HardwareProfile::modern() {
   hw.disk_write_bw = mbytes_per_sec(180.0);
   hw.nic_bw = mbits_per_sec(10000.0);
   hw.switch_bw = mbits_per_sec(100000.0);
+  hw.local_bus_bw = mbytes_per_sec(8000.0);  // PCIe-era local bus
   hw.memory_bytes = 64ull * kGiB;
   return hw;
 }

@@ -39,6 +39,11 @@ struct HardwareProfile {
   double nic_bw = mbits_per_sec(100.0);     // Fast Ethernet per node
   double switch_bw = mbits_per_sec(1000.0); // aggregate backplane
 
+  /// Intra-node bus bandwidth for colocated storage/compute pairs
+  /// (ClusterSpec::colocated): a local transfer bypasses NIC + switch and
+  /// moves at memory/PCI speed instead. 2006-era PCI ~ 400 MB/s.
+  double local_bus_bw = mbytes_per_sec(400.0);
+
   std::uint64_t memory_bytes = 512ull * kMiB;
 
   /// Derived per-tuple CPU costs (paper Table 1).

@@ -33,6 +33,7 @@ CostParams CostParams::from(const ClusterSpec& cluster,
   p.alpha_build = hw.alpha_build() / cpu_factor;
   p.alpha_lookup = hw.alpha_lookup() / cpu_factor;
   p.shared_filesystem = cluster.shared_filesystem;
+  p.local_bw = cluster.colocated ? hw.local_bus_bw : 0.0;
   p.memory_bytes = static_cast<double>(hw.memory_bytes);
   return p;
 }
@@ -51,11 +52,26 @@ double transfer_cost(const CostParams& p) {
   return total_bytes(p) / std::min(p.net_bw, aggregate_read_bw(p));
 }
 
+/// IJ transfer with the locality split: remote bytes ride the switch at
+/// net_bw while local bytes ride n_j independent local buses; the disks
+/// feed both streams. The paths drain concurrently, so the phase lasts as
+/// long as its slowest path. At local_fraction = 0 the max reduces to
+/// total / min(net_bw, aggregate_read_bw) — the paper's formula.
+double ij_transfer_cost(const CostParams& p) {
+  const double f = std::clamp(p.local_fraction, 0.0, 1.0);
+  if (f <= 0 || p.local_bw <= 0) return transfer_cost(p);
+  const double bytes = total_bytes(p);
+  const double disk = bytes / aggregate_read_bw(p);
+  const double remote = bytes * (1.0 - f) / p.net_bw;
+  const double local = bytes * f / (p.local_bw * p.n_j);
+  return std::max({disk, remote, local});
+}
+
 }  // namespace
 
 CostBreakdown ij_cost(const CostParams& p) {
   CostBreakdown c;
-  c.transfer = transfer_cost(p);
+  c.transfer = ij_transfer_cost(p);
   c.cpu_build = p.alpha_build * p.T / p.n_j;
   c.cpu_lookup = p.alpha_lookup * p.n_e * p.c_S / p.n_j;
   return c;
@@ -153,7 +169,10 @@ std::string CostParams::to_string() const {
       "T=%.3g c_R=%.3g c_S=%.3g n_e=%.3g RS=(%g,%g) net=%.3g io=(%.3g,%.3g) "
       "n_s=%g n_j=%g alpha=(%.3g,%.3g)%s",
       T, c_R, c_S, n_e, RS_R, RS_S, net_bw, read_io_bw, write_io_bw, n_s, n_j,
-      alpha_build, alpha_lookup, shared_filesystem ? " sharedfs" : "");
+      alpha_build, alpha_lookup, shared_filesystem ? " sharedfs" : "") +
+      (local_bw > 0
+           ? strformat(" local=(f=%.2f,bw=%.3g)", local_fraction, local_bw)
+           : "");
 }
 
 std::string CostBreakdown::to_string() const {

@@ -59,6 +59,16 @@ struct CostParams {
 
   bool shared_filesystem = false;
 
+  // Locality extension (colocated clusters, src/place). local_fraction is
+  // the fraction of IJ transfer bytes that move over a node-local bus
+  // instead of NIC + switch; local_bw is one bus's bandwidth. The planner
+  // derives local_fraction from the predicted placement-affinity schedule
+  // (schedule_local_fraction). GH always shuffles through the switch, so
+  // only the IJ transfer term reads these; at local_fraction = 0 or
+  // local_bw = 0 the model reduces exactly to the paper's formula.
+  double local_fraction = 0;
+  double local_bw = 0;
+
   // Pipelined-model parameters (only read by the *_pipelined models; the
   // serial models ignore them). Defaults mirror QesOptions.
   double memory_bytes = 0;       // per-joiner memory, sizes GH buckets

@@ -29,6 +29,16 @@ void check_dim(std::uint64_t g, std::uint64_t p, std::uint64_t q,
 
 }  // namespace
 
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::BlockCyclic: return "block-cyclic";
+    case Placement::Blocked: return "blocked";
+    case Placement::Random: return "random";
+    case Placement::GraphPartitioned: return "graph-partitioned";
+  }
+  return "unknown";
+}
+
 std::string Dim3::to_string() const {
   return strformat("%llux%llux%llu", (unsigned long long)x,
                    (unsigned long long)y, (unsigned long long)z);

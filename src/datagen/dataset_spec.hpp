@@ -30,7 +30,13 @@ enum class Placement {
   BlockCyclic,  // paper: chunk j -> node j mod n_s
   Blocked,      // contiguous chunk ranges per node
   Random,       // uniform random (seeded)
+  /// Min-cut partition of the chunk-affinity graph (the sub-table
+  /// connectivity graph): frequently-joined chunk pairs co-locate on one
+  /// storage node (src/place, cf. Golab et al.).
+  GraphPartitioned,
 };
+
+const char* placement_name(Placement p);
 
 struct DatasetSpec {
   Dim3 grid{64, 64, 64};   // g: grid points per dimension

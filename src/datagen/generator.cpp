@@ -4,9 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
-#include "common/prng.hpp"
 #include "common/strings.hpp"
 #include "extract/extractor.hpp"
+#include "place/placement.hpp"
 
 namespace orv {
 
@@ -36,9 +36,12 @@ SchemaPtr make_schema(std::size_t extra, const char* first,
 }
 
 /// Generates every chunk of one table into the stores and the metadata.
+/// The chunk→node map comes from the placement policy (src/place), never
+/// from layout logic hard-coded here.
 void generate_table(const DatasetSpec& spec, TableId table,
                     const std::string& name, const SchemaPtr& schema,
                     const Dim3& part, LayoutId layout,
+                    const PlacementPolicy& policy,
                     std::vector<std::shared_ptr<ChunkStore>>& stores,
                     MetaDataService& meta) {
   meta.register_table(table, name, schema);
@@ -49,23 +52,6 @@ void generate_table(const DatasetSpec& spec, TableId table,
                spec.grid.z / part.z};
   const std::size_t rs = schema->record_size();
   const std::size_t n_extra = schema->num_attrs() - 3;
-  const std::uint64_t num_chunks = n.volume();
-  const std::uint64_t chunks_per_node =
-      (num_chunks + spec.num_storage_nodes - 1) / spec.num_storage_nodes;
-  Xoshiro256StarStar placement_rng(spec.seed ^ (0x9e3779b97f4aull + table));
-
-  auto node_of = [&](ChunkId id) -> std::uint32_t {
-    switch (spec.placement) {
-      case Placement::BlockCyclic:
-        return static_cast<std::uint32_t>(id % spec.num_storage_nodes);
-      case Placement::Blocked:
-        return static_cast<std::uint32_t>(id / chunks_per_node);
-      case Placement::Random:
-        return static_cast<std::uint32_t>(
-            placement_rng.below(spec.num_storage_nodes));
-    }
-    throw Error("unreachable placement");
-  };
 
   ChunkId chunk_id = 0;
   for (std::uint64_t iz = 0; iz < n.z; ++iz) {
@@ -108,7 +94,9 @@ void generate_table(const DatasetSpec& spec, TableId table,
         st.adopt_bytes(std::move(rows));
         st.set_bounds(bounds);
 
-        const std::uint32_t node = node_of(chunk_id);
+        const std::uint32_t node = policy.node_of(table, chunk_id);
+        ORV_REQUIRE(node < spec.num_storage_nodes,
+                    "placement policy mapped a chunk to a nonexistent node");
         const auto chunk_bytes = make_chunk(st, layout);
         ChunkLocation loc = stores[node]->append(/*file_no=*/table,
                                                  chunk_bytes);
@@ -147,10 +135,11 @@ void generate_dataset_into(const DatasetSpec& spec, MetaDataService& meta,
   spec.validate();
   ORV_REQUIRE(stores.size() == spec.num_storage_nodes,
               "one chunk store per storage node required");
+  const auto policy = make_placement_policy(spec);
   generate_table(spec, spec.table1_id, spec.table1_name, table1_schema(spec),
-                 spec.part1, spec.layout1, stores, meta);
+                 spec.part1, spec.layout1, *policy, stores, meta);
   generate_table(spec, spec.table2_id, spec.table2_name, table2_schema(spec),
-                 spec.part2, spec.layout2, stores, meta);
+                 spec.part2, spec.layout2, *policy, stores, meta);
 }
 
 SchemaPtr table1_schema(const DatasetSpec& spec) {

@@ -738,6 +738,7 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   }
 
   const double net0 = cluster.network_bytes();
+  const double switch0 = cluster.switch_bytes();
   const double sread0 = storage_read_total(cluster);
   const double cw0 = scratch_bytes_written(cluster);
   const double cr0 = scratch_bytes_read_total(cluster);
@@ -785,6 +786,9 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   result.result_fingerprint = sh.fingerprint;
   result.join_stats = sh.stats;
   result.network_bytes = cluster.network_bytes() - net0;
+  // GH shuffles every record through the switch regardless of placement
+  // (its egress path never uses the local bus), so local bytes stay 0.
+  result.cross_switch_bytes = cluster.switch_bytes() - switch0;
   result.storage_disk_read_bytes = storage_read_total(cluster) - sread0;
   result.scratch_write_bytes = scratch_bytes_written(cluster) - cw0;
   result.scratch_read_bytes = scratch_bytes_read_total(cluster) - cr0;

@@ -709,6 +709,13 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
     schedule = make_schedule_with_affinity(graph, cluster.num_compute(),
                                            affinity, options.pair_order,
                                            options.seed);
+  } else if (options.assign == ComponentAssign::PlacementAffinity) {
+    // Follow the data: send each component to the compute node paired with
+    // the storage node holding most of its bytes. On a colocated cluster
+    // those fetches ride the local bus instead of the switch.
+    schedule = make_schedule_placement_affinity(
+        graph, cluster.num_compute(), meta, cluster.num_storage(),
+        options.pair_order, options.seed);
   } else {
     schedule = make_schedule(graph, cluster.num_compute(), options.assign,
                              options.pair_order, options.seed);
@@ -716,6 +723,8 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
 
   // Resource byte counters before the run (clusters may be reused).
   const double net0 = cluster.network_bytes();
+  const double switch0 = cluster.switch_bytes();
+  const double local0 = cluster.local_bytes();
   const double sread0 = storage_read_bytes(cluster);
 
   sh.node_spans.resize(cluster.num_compute());
@@ -763,6 +772,8 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   result.hash_tables_built = sh.builds;
   result.cache_stats = sh.cache_total;
   result.network_bytes = cluster.network_bytes() - net0;
+  result.cross_switch_bytes = cluster.switch_bytes() - switch0;
+  result.local_transfer_bytes = cluster.local_bytes() - local0;
   result.storage_disk_read_bytes = storage_read_bytes(cluster) - sread0;
   result.fetch_retries = sh.fetch_retries;
   result.pairs_reassigned = sh.pairs_reassigned;

@@ -123,6 +123,11 @@ struct QesResult {
   double storage_disk_read_bytes = 0;
   double scratch_write_bytes = 0;
   double scratch_read_bytes = 0;
+  /// Locality split of the transfer traffic (colocated clusters): bytes
+  /// that crossed the switch vs bytes served over a node-local bus. On a
+  /// non-colocated cluster local_transfer_bytes is 0.
+  double cross_switch_bytes = 0;
+  double local_transfer_bytes = 0;
 
   // IJ cache behaviour, aggregated over compute nodes.
   CachingService::Stats cache_stats;

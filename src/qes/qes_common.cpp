@@ -96,6 +96,12 @@ std::string QesResult::to_string() const {
       (unsigned long long)cache_stats.hits,
       (unsigned long long)cache_stats.misses,
       (unsigned long long)cache_stats.evictions);
+  if (local_transfer_bytes > 0) {
+    s += strformat(
+        " switch=%s local=%s",
+        human_bytes(static_cast<std::uint64_t>(cross_switch_bytes)).c_str(),
+        human_bytes(static_cast<std::uint64_t>(local_transfer_bytes)).c_str());
+  }
   if (degraded) {
     s += strformat(
         " DEGRADED retries=%llu pairs_reassigned=%llu "

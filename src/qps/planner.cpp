@@ -2,6 +2,7 @@
 
 #include "common/strings.hpp"
 #include "obs/obs.hpp"
+#include "place/placement.hpp"
 
 namespace orv {
 
@@ -55,9 +56,28 @@ PlanDecision QueryPlanner::plan(const MetaDataService& meta,
   data.c_S = n_right ? meta.table_rows(query.right_table) / n_right : 0;
   data.num_edges = graph.num_edges();
   data.num_components = graph.num_components();
-  return plan(data, meta.table_schema(query.left_table)->record_size(),
-              meta.table_schema(query.right_table)->record_size(), cpu_factor,
-              qes);
+  PlanDecision d =
+      plan(data, meta.table_schema(query.left_table)->record_size(),
+           meta.table_schema(query.right_table)->record_size(), cpu_factor,
+           qes);
+  if (cluster_.colocated && qes != nullptr &&
+      qes->assign == ComponentAssign::PlacementAffinity) {
+    // Locality-aware refinement: predict the placement-affinity schedule
+    // the executor will build, measure what fraction of its first-touch
+    // bytes stay node-local, and fold that into the IJ transfer term. GH
+    // always shuffles through the switch, so its breakdown stands.
+    const Schedule predicted = make_schedule_placement_affinity(
+        graph, cluster_.num_compute, meta, cluster_.num_storage,
+        qes->pair_order, qes->seed);
+    d.params.local_fraction =
+        schedule_local_fraction(predicted, meta, cluster_.num_storage);
+    d.ij = d.pipelined && qes->prefetch_lookahead > 0
+               ? ij_cost_pipelined(d.params)
+               : ij_cost(d.params);
+    d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
+                                            : Algorithm::GraceHash;
+  }
+  return d;
 }
 
 QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,

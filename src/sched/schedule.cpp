@@ -78,6 +78,33 @@ Schedule make_schedule(const ConnectivityGraph& graph, std::size_t num_nodes,
   return s;
 }
 
+Schedule make_schedule_placement_affinity(
+    const ConnectivityGraph& graph, std::size_t num_nodes,
+    const MetaDataService& meta, std::size_t num_storage,
+    PairOrder order, std::uint64_t seed) {
+  ORV_REQUIRE(num_storage >= 1, "placement affinity needs storage nodes");
+  const auto& components = graph.components();
+  std::vector<std::vector<double>> affinity(
+      components.size(), std::vector<double>(num_nodes, 0.0));
+  std::unordered_set<SubTableId, SubTableIdHash> seen;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    seen.clear();
+    for (const auto& pair : components[c].pairs) {
+      for (SubTableId id : {pair.left, pair.right}) {
+        if (!seen.insert(id).second) continue;
+        const ChunkMeta& cm = meta.chunk(id);
+        const double bytes =
+            static_cast<double>(cm.num_rows) * cm.schema->record_size();
+        const std::uint32_t storage = cm.location.storage_node;
+        for (std::size_t n = storage; n < num_nodes; n += num_storage) {
+          affinity[c][n] += bytes;  // every compute node paired with storage
+        }
+      }
+    }
+  }
+  return make_schedule_with_affinity(graph, num_nodes, affinity, order, seed);
+}
+
 Schedule make_schedule_with_affinity(
     const ConnectivityGraph& graph, std::size_t num_nodes,
     const std::vector<std::vector<double>>& affinity, PairOrder order,

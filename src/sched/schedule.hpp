@@ -23,6 +23,11 @@ enum class ComponentAssign {
   RoundRobin,     // paper: equal number of components per QES instance
   Random,         // ablation
   CacheAffinity,  // session-cache extension: follow warm caches
+  /// Placement-aware: route each component to the compute node colocated
+  /// with the storage node holding most of its bytes (src/place pairing
+  /// j mod n_s). Requires the placement overload below; falls back to
+  /// RoundRobin in plain make_schedule.
+  PlacementAffinity,
 };
 
 enum class PairOrder {
@@ -79,6 +84,16 @@ std::vector<std::vector<SubTablePair>> redistribute_pairs(
 Schedule make_schedule_with_affinity(
     const ConnectivityGraph& graph, std::size_t num_nodes,
     const std::vector<std::vector<double>>& affinity,
+    PairOrder order = PairOrder::Lexicographic, std::uint64_t seed = 0);
+
+/// ComponentAssign::PlacementAffinity: affinity[c][n] is the number of bytes
+/// of component c's sub-tables resident on the storage node paired with
+/// compute node n (n mod num_storage). On a colocated cluster the winning
+/// node fetches those bytes over its local bus instead of the switch; the
+/// same balance cap as make_schedule_with_affinity applies.
+Schedule make_schedule_placement_affinity(
+    const ConnectivityGraph& graph, std::size_t num_nodes,
+    const MetaDataService& meta, std::size_t num_storage,
     PairOrder order = PairOrder::Lexicographic, std::uint64_t seed = 0);
 
 }  // namespace orv

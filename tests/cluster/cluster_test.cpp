@@ -161,5 +161,65 @@ TEST(Cluster, EgressIngressSplitCoversSameBytes) {
   EXPECT_DOUBLE_EQ(c.network_bytes(), 1000.0);  // counted once, at egress
 }
 
+TEST(Cluster, ColocatedLocalTransferSkipsSwitch) {
+  sim::Engine e;
+  ClusterSpec spec = small_spec();
+  spec.colocated = true;
+  Cluster c(e, spec);
+  ASSERT_TRUE(c.is_local(0, 0));   // compute 0 pairs with storage 0
+  ASSERT_TRUE(c.is_local(1, 1));
+  ASSERT_FALSE(c.is_local(1, 0));  // cross pair still remote
+
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.transfer_storage_to_compute(0, 0, 1000.0);  // local
+    co_await cl.transfer_storage_to_compute(1, 0, 500.0);   // remote
+  };
+  e.spawn(proc(c));
+  e.run();
+  EXPECT_DOUBLE_EQ(c.local_bytes(), 1000.0);
+  EXPECT_DOUBLE_EQ(c.switch_bytes(), 500.0);
+  EXPECT_DOUBLE_EQ(c.network_bytes(), 1500.0);  // both count as transfers
+}
+
+TEST(Cluster, ColocatedLocalBusSetsTransferTime) {
+  sim::Engine e;
+  ClusterSpec spec = small_spec();
+  spec.colocated = true;
+  spec.hw.local_bus_bw = 1000.0;  // much slower than NIC: time is bus-bound
+  Cluster c(e, spec);
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.transfer_storage_to_compute(0, 0, 2000.0);
+  };
+  e.spawn(proc(c));
+  e.run();
+  EXPECT_NEAR(e.now(), 2.0, 0.1);  // 2000 B over a 1000 B/s local bus
+}
+
+TEST(Cluster, SplitClusterHasNoLocalPairsOrBuses) {
+  sim::Engine e;
+  Cluster c(e, small_spec());  // colocated defaults to false
+  EXPECT_FALSE(c.is_local(0, 0));
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.transfer_storage_to_compute(0, 0, 1000.0);
+  };
+  e.spawn(proc(c));
+  e.run();
+  EXPECT_DOUBLE_EQ(c.local_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(c.switch_bytes(), 1000.0);
+}
+
+TEST(Cluster, UtilizationReportListsLocalBuses) {
+  sim::Engine e;
+  ClusterSpec spec = small_spec();
+  spec.colocated = true;
+  Cluster c(e, spec);
+  auto proc = [](Cluster& cl) -> sim::Task<> {
+    co_await cl.transfer_storage_to_compute(0, 0, 1000.0);
+  };
+  e.spawn(proc(c));
+  e.run();  // report needs elapsed time to normalize against
+  EXPECT_NE(c.utilization_report().find("lbus"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace orv

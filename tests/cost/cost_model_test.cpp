@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "datagen/generator.hpp"
 #include "graph/connectivity.hpp"
@@ -45,6 +47,61 @@ TEST(CostModel, IjFormula) {
   EXPECT_DOUBLE_EQ(c.read, 0.0);
   EXPECT_DOUBLE_EQ(c.total(),
                    c.transfer + c.cpu_build + c.cpu_lookup);
+}
+
+TEST(CostModel, LocalityZeroFractionReducesToPaperFormula) {
+  CostParams p = hand_params();
+  const CostBreakdown base = ij_cost(p);
+  p.local_bw = 400e6;
+  p.local_fraction = 0.0;  // nothing local: formula must be untouched
+  EXPECT_DOUBLE_EQ(ij_cost(p).transfer, base.transfer);
+  p.local_fraction = 0.5;
+  p.local_bw = 0.0;  // no bus (split cluster): also untouched
+  EXPECT_DOUBLE_EQ(ij_cost(p).transfer, base.transfer);
+}
+
+TEST(CostModel, LocalityLowersIjTransferMonotonically) {
+  CostParams p = hand_params();
+  p.local_bw = 400e6;  // fast bus: local bytes are effectively free
+  double prev = ij_cost(p).transfer;
+  for (double f : {0.25, 0.5, 0.75, 1.0}) {
+    p.local_fraction = f;
+    const double t = ij_cost(p).transfer;
+    EXPECT_LE(t, prev) << "f=" << f;
+    prev = t;
+  }
+  // At f = 1 with a fast bus the disk floor is what remains.
+  const double agg_read = p.read_io_bw * p.n_s;
+  const double bytes = p.T * (p.RS_R + p.RS_S);
+  EXPECT_DOUBLE_EQ(prev, std::max(bytes / agg_read,
+                                  bytes / (p.local_bw * p.n_j)));
+}
+
+TEST(CostModel, LocalityLeavesGraceHashAlone) {
+  CostParams p = hand_params();
+  const CostBreakdown base = gh_cost(p);
+  p.local_bw = 400e6;
+  p.local_fraction = 1.0;
+  const CostBreakdown local = gh_cost(p);
+  EXPECT_DOUBLE_EQ(local.transfer, base.transfer);
+  EXPECT_DOUBLE_EQ(local.total(), base.total());
+}
+
+TEST(CostModel, ParamsFromPicksUpLocalBusOnlyWhenColocated) {
+  ClusterSpec cluster;
+  cluster.num_storage = 2;
+  cluster.num_compute = 2;
+  ConnectivityStats data;
+  data.T = 1000;
+  data.c_R = 100;
+  data.c_S = 100;
+  data.num_edges = 10;
+  const CostParams split = CostParams::from(cluster, data, 16, 16);
+  EXPECT_DOUBLE_EQ(split.local_bw, 0.0);
+  cluster.colocated = true;
+  const CostParams coloc = CostParams::from(cluster, data, 16, 16);
+  EXPECT_DOUBLE_EQ(coloc.local_bw, cluster.hw.local_bus_bw);
+  EXPECT_DOUBLE_EQ(coloc.local_fraction, 0.0);  // planner fills this in
 }
 
 TEST(CostModel, GhFormula) {

@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "../chaos_util.hpp"
 #include "obs/trace.hpp"
 
@@ -44,14 +46,17 @@ void check_trace(const char* algo, std::uint64_t seed,
 }
 
 void chaos_sweep(bool indexed_join, const char* algo,
-                 const QesOptions& options = {}) {
+                 const QesOptions& options = {},
+                 const std::function<void(chaos::Scenario&)>& mutate = {}) {
   const std::uint64_t n = chaos::env_u64("ORV_CHAOS_N", 120);
   const std::uint64_t base = chaos::env_u64("ORV_CHAOS_SEED", 1000);
   std::uint64_t degraded_runs = 0;
   std::uint64_t clean_failures = 0;
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t seed = base + i;
-    chaos::ChaosRig rig(seed);
+    chaos::Scenario scenario = chaos::make_scenario(seed);
+    if (mutate) mutate(scenario);
+    chaos::ChaosRig rig(scenario);
     const fault::FaultPlan plan = fault::FaultPlan::chaos(
         seed, rig.sc.cspec.num_storage, rig.sc.cspec.num_compute);
 
@@ -122,6 +127,19 @@ TEST(Chaos, PipelinedGraceHashSweep) {
   QesOptions options;
   options.gh_double_buffer = true;
   chaos_sweep(false, "grace_hash_pipelined", options);
+}
+
+TEST(Chaos, GraphPartitionedPlacementSweep) {
+  // Same fault battery over graph-partitioned placement on a colocated
+  // cluster with placement-affinity scheduling: recovery paths must hold
+  // when components are node-local and fetches ride the local bus.
+  QesOptions options;
+  options.assign = ComponentAssign::PlacementAffinity;
+  chaos_sweep(true, "indexed_join_graph_partitioned", options,
+              [](chaos::Scenario& s) {
+                s.spec.placement = Placement::GraphPartitioned;
+                s.cspec.colocated = true;
+              });
 }
 
 }  // namespace

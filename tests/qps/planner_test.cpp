@@ -133,6 +133,46 @@ TEST(Planner, PipelinedOptionsSelectPipelinedModels) {
   EXPECT_LT(d_gh.gh.total(), serial.gh.total());
 }
 
+TEST(Planner, ColocatedPlacementAffinityLowersPredictedIj) {
+  // Asymmetric partitions on a colocated cluster: graph-partitioned
+  // placement plus placement-affinity scheduling makes every fetch local,
+  // and the planner's locality refinement must see it.
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = {8, 8, 8};
+  data.part2 = {4, 4, 4};
+  data.num_storage_nodes = 3;
+  data.placement = Placement::GraphPartitioned;
+  auto ds = generate_dataset(data);
+  const auto graph =
+      ConnectivityGraph::build(ds.meta, 1, 2, {"x", "y", "z"});
+  ClusterSpec cspec;
+  cspec.num_storage = 3;
+  cspec.num_compute = 3;
+  cspec.colocated = true;
+  QueryPlanner planner(cspec);
+  JoinQuery query{1, 2, {"x", "y", "z"}, {}};
+
+  QesOptions plain;
+  const auto base = planner.plan(ds.meta, graph, query, 1.0, &plain);
+  EXPECT_DOUBLE_EQ(base.params.local_fraction, 0.0);
+
+  QesOptions affine;
+  affine.assign = ComponentAssign::PlacementAffinity;
+  const auto local = planner.plan(ds.meta, graph, query, 1.0, &affine);
+  EXPECT_GT(local.params.local_fraction, 0.0);
+  EXPECT_LE(local.params.local_fraction, 1.0);
+  EXPECT_LT(local.ij.total(), base.ij.total());
+  EXPECT_DOUBLE_EQ(local.gh.total(), base.gh.total());  // GH untouched
+
+  // On a split cluster the same options are a no-op for the model.
+  cspec.colocated = false;
+  QueryPlanner split(cspec);
+  const auto split_plan = split.plan(ds.meta, graph, query, 1.0, &affine);
+  EXPECT_DOUBLE_EQ(split_plan.params.local_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(split_plan.ij.total(), base.ij.total());
+}
+
 // Sweep: whatever the planner picks must indeed be the faster algorithm in
 // simulation (within a slack factor for model error) across shapes.
 struct PlanCase {

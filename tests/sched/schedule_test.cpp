@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "common/error.hpp"
 #include "datagen/generator.hpp"
+#include "place/placement.hpp"
 
 namespace orv {
 namespace {
@@ -153,6 +155,76 @@ TEST(Schedule, LruFetchAnalysisTinyCacheRefetches) {
   EXPECT_LE(lex_fetches, shuf_fetches);
   EXPECT_GT(shuf_fetches,
             f.graph.num_components() * (f.ds.stats.a + f.ds.stats.b));
+}
+
+TEST(Schedule, PlacementAffinityCoversEveryEdgeExactlyOnce) {
+  Fixture f;
+  const Schedule s = make_schedule_placement_affinity(
+      f.graph, /*num_nodes=*/4, f.ds.meta, f.ds.spec.num_storage_nodes);
+  std::vector<SubTablePair> all;
+  for (const auto& node : s.pairs_per_node) {
+    all.insert(all.end(), node.begin(), node.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, f.graph.edges());
+}
+
+TEST(Schedule, PlacementAffinityRespectsBalanceCap) {
+  Fixture f;
+  const std::size_t n_nodes = 4;
+  const Schedule s = make_schedule_placement_affinity(
+      f.graph, n_nodes, f.ds.meta, f.ds.spec.num_storage_nodes);
+  // Components are equal-sized here, so the per-node component cap of
+  // ceil(2 * components / nodes) bounds pairs as well.
+  const std::size_t components = f.graph.num_components();
+  const std::size_t pairs_per_component =
+      f.graph.num_edges() / components;
+  const std::size_t cap =
+      (2 * components + n_nodes - 1) / n_nodes * pairs_per_component;
+  for (const auto& node : s.pairs_per_node) {
+    EXPECT_LE(node.size(), cap);
+  }
+}
+
+TEST(Schedule, PlacementAffinityNeverLessLocalThanRoundRobin) {
+  Fixture f;
+  const std::size_t storage = f.ds.spec.num_storage_nodes;
+  const Schedule affine = make_schedule_placement_affinity(
+      f.graph, /*num_nodes=*/4, f.ds.meta, storage);
+  const Schedule rr = make_schedule(f.graph, /*num_nodes=*/4);
+  EXPECT_GE(schedule_local_fraction(affine, f.ds.meta, storage),
+            schedule_local_fraction(rr, f.ds.meta, storage));
+}
+
+TEST(Schedule, LruFetchAnalysisUnderPlacementAffinity) {
+  // The no-refetch property is about pair order, not assignment: with
+  // ample memory, each node fetches each distinct sub-table it touches
+  // exactly once, and the per-node totals sum to at least one fetch per
+  // distinct sub-table overall.
+  Fixture f;
+  const Schedule s = make_schedule_placement_affinity(
+      f.graph, /*num_nodes=*/2, f.ds.meta, f.ds.spec.num_storage_nodes);
+  std::size_t total_fetches = 0;
+  for (std::size_t n = 0; n < 2; ++n) {
+    std::set<SubTableId> distinct;
+    for (const SubTablePair& p : s.pairs_per_node[n]) {
+      distinct.insert(p.left);
+      distinct.insert(p.right);
+    }
+    EXPECT_EQ(s.fetches_with_lru(n, 1ull << 30, f.ds.meta),
+              distinct.size());
+    total_fetches += distinct.size();
+  }
+  EXPECT_GE(total_fetches,
+            f.graph.num_components() * (f.ds.stats.a + f.ds.stats.b));
+
+  // A cache holding ~2 sub-tables forces refetches relative to that floor
+  // on at least one loaded node, same as under round-robin.
+  const std::uint64_t tiny = 3 * f.ds.stats.c_S * 16;
+  for (std::size_t n = 0; n < 2; ++n) {
+    EXPECT_GE(s.fetches_with_lru(n, tiny, f.ds.meta),
+              s.fetches_with_lru(n, 1ull << 30, f.ds.meta));
+  }
 }
 
 }  // namespace
