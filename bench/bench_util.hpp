@@ -24,6 +24,7 @@
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/profile.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/sim_clock.hpp"
 #include "obs/trace.hpp"
 #include "place/placement.hpp"
@@ -51,9 +52,24 @@ struct ScenarioResult {
   QesResult sim_gh;
   Algorithm planned = Algorithm::IndexedJoin;
 
+  /// Bottleneck diagnoses, filled on instrumented runs only (ORV_PROFILE /
+  /// ORV_TRACE): uninstrumented runs assemble no trace DAG to walk.
+  bool diag_valid = false;
+  obs::Diagnosis diag_ij;
+  obs::Diagnosis diag_gh;
+
   double ne_cs() const {
     return static_cast<double>(stats.num_edges) *
            static_cast<double>(stats.c_S);
+  }
+
+  /// Model accuracy per algorithm (simulated / predicted); computable with
+  /// or without instrumentation, so benches can always emit it.
+  double ij_error_ratio() const {
+    return model_ij.total() > 0 ? sim_ij.elapsed / model_ij.total() : 0.0;
+  }
+  double gh_error_ratio() const {
+    return model_gh.total() > 0 ? sim_gh.elapsed / model_gh.total() : 0.0;
   }
 };
 
@@ -92,7 +108,9 @@ class ProfileReport {
       std::fprintf(stderr, "ORV_PROFILE: cannot open %s\n", path_.c_str());
       return;
     }
-    std::string out = "{\"profiles\":[";
+    std::string out = "{\"schema_version\":" +
+                      std::to_string(obs::kObsSchemaVersion) +
+                      ",\"profiles\":[";
     for (std::size_t i = 0; i < profiles_.size(); ++i) {
       if (i) out += ',';
       out += profiles_[i].to_json();
@@ -159,14 +177,59 @@ class TraceReport {
   std::vector<obs::ChromeTraceQuery> queries_;
 };
 
+/// ORV_DIAG=1 prints each instrumented query's full diagnosis (findings,
+/// confidences, knob suggestions) to stdout.
+inline bool diag_to_stdout() {
+  static const bool enabled = std::getenv("ORV_DIAG") != nullptr;
+  return enabled;
+}
+
+inline void print_diagnosis(const obs::Diagnosis& d) {
+  std::printf("[diag] %s/%s: %s\n", d.query.c_str(), d.algorithm.c_str(),
+              d.to_string().c_str());
+  for (const auto& f : d.findings) {
+    std::printf("  - %s (conf %.2f): %s\n      knob: %s\n", f.kind.c_str(),
+                f.confidence, f.detail.c_str(), f.suggestion.c_str());
+  }
+}
+
 namespace detail {
 
+/// Copies the executor's accounting into the diagnosis engine's input.
+inline obs::DiagnosisInput make_diag_input(const std::string& label,
+                                           Algorithm algorithm,
+                                           const QesResult& result,
+                                           bool placement_affinity) {
+  obs::DiagnosisInput di;
+  di.query = label;
+  di.algorithm = algorithm_name(algorithm);
+  di.elapsed = result.elapsed;
+  for (const auto& nw : result.node_work) {
+    di.nodes.push_back({nw.node, nw.busy_seconds, nw.items, nw.bytes});
+  }
+  di.fetch_retries = result.fetch_retries;
+  di.pairs_reassigned = result.pairs_reassigned;
+  di.rows_repartitioned = result.rows_repartitioned;
+  di.nodes_lost = result.compute_nodes_lost;
+  di.degraded = result.degraded;
+  di.cache_hits = result.cache_stats.hits;
+  di.cache_misses = result.cache_stats.misses;
+  di.cache_evictions = result.cache_stats.evictions;
+  di.cache_puts = result.cache_stats.puts;
+  di.prefetch_issued = result.prefetch_issued;
+  di.prefetch_wasted = result.prefetch_wasted;
+  di.placement_affinity = placement_affinity;
+  return di;
+}
+
 /// Runs one algorithm under a freshly installed obs context (virtual-time
-/// clock) and appends its execution profile + plan validation.
+/// clock) and appends its execution profile + plan validation. When
+/// `diag_out` is non-null it receives the run's bottleneck diagnosis.
 template <typename RunFn>
 QesResult run_profiled(const sim::Engine& engine, const std::string& label,
                        Algorithm algorithm, const ScenarioResult& so_far,
-                       RunFn&& run) {
+                       RunFn&& run, bool placement_affinity = false,
+                       obs::Diagnosis* diag_out = nullptr) {
   obs::SimClock clock(engine);
   obs::ObsContext ctx(&clock);
   const bool tracing = TraceReport::instance().enabled();
@@ -174,6 +237,7 @@ QesResult run_profiled(const sim::Engine& engine, const std::string& label,
     ctx.sample_interval = TraceReport::instance().sample_interval();
   }
   QesResult result;
+  obs::Diagnosis diag;
   {
     obs::ScopedInstall install(ctx);
     result = run();
@@ -202,6 +266,15 @@ QesResult run_profiled(const sim::Engine& engine, const std::string& label,
       if (s.name == root_name) root = s.id;
     }
     const obs::CriticalPath cp = obs::critical_path(dag, root);
+    {
+      obs::DiagnosisInput di =
+          make_diag_input(label, algorithm, result, placement_affinity);
+      di.path = &cp;
+      di.series = ctx.time_series();
+      diag = obs::diagnose(di);
+      if (diag_out != nullptr) *diag_out = diag;
+      if (diag_to_stdout()) print_diagnosis(diag);
+    }
     if (!cp.segments.empty()) {
       const CostBreakdown& model = algorithm == Algorithm::IndexedJoin
                                        ? so_far.model_ij
@@ -222,13 +295,28 @@ QesResult run_profiled(const sim::Engine& engine, const std::string& label,
     }
   }
   if (ProfileReport::instance().enabled()) {
-    ProfileReport::instance().add(obs::build_profile(
-        ctx, label, algorithm_name(algorithm), result.elapsed));
+    obs::ExecutionProfile profile = obs::build_profile(
+        ctx, label, algorithm_name(algorithm), result.elapsed);
+    profile.has_diagnosis = true;
+    profile.diagnosis = diag;
+    ProfileReport::instance().add(std::move(profile));
   }
   if (tracing) {
     TraceReport::instance().add(
         label + "/" + algorithm_name(algorithm), ctx.tracer.snapshot(),
         ctx.time_series());
+  }
+  // ORV_PROM=<file>: Prometheus text exposition of the query's registry
+  // snapshot, rewritten per query (a scraper pulls the current state, so
+  // last-writer-wins matches the scrape model).
+  if (const char* prom = std::getenv("ORV_PROM")) {
+    if (std::FILE* f = std::fopen(prom, "w")) {
+      const std::string text = obs::prometheus_text(ctx.registry.snapshot());
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "ORV_PROM: cannot open %s\n", prom);
+    }
   }
   return result;
 }
@@ -290,6 +378,8 @@ inline ScenarioResult run_scenario(Scenario sc) {
   // per-stage profile, ORV_TRACE wants the span snapshot + time series.
   const bool instrumented = ProfileReport::instance().enabled() ||
                             TraceReport::instance().enabled();
+  const bool affinity =
+      sc.options.assign == ComponentAssign::PlacementAffinity;
   const std::string label =
       instrumented ? ProfileReport::instance().next_label() : std::string();
   {
@@ -301,7 +391,8 @@ inline ScenarioResult run_scenario(Scenario sc) {
     };
     out.sim_ij = instrumented
                      ? detail::run_profiled(engine, label,
-                                            Algorithm::IndexedJoin, out, run)
+                                            Algorithm::IndexedJoin, out, run,
+                                            affinity, &out.diag_ij)
                      : run();
   }
   {
@@ -313,9 +404,11 @@ inline ScenarioResult run_scenario(Scenario sc) {
     };
     out.sim_gh = instrumented
                      ? detail::run_profiled(engine, label,
-                                            Algorithm::GraceHash, out, run)
+                                            Algorithm::GraceHash, out, run,
+                                            affinity, &out.diag_gh)
                      : run();
   }
+  out.diag_valid = instrumented;
   return out;
 }
 

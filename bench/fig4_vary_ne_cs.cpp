@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
 
   const std::uint64_t M = 32;
   const std::uint64_t w = 8;
-  std::printf("%10s %10s | %8s %8s | %8s %8s | %8s %8s | %-11s %-11s\n",
+  std::printf("%10s %10s | %8s %8s | %8s %8s | %8s %8s | %-11s %-11s | %s\n",
               "n_e*c_S", "edge_ratio", "IJ sim", "GH sim", "IJ pipe",
-              "GH pipe", "IJ model", "GH model", "QPS choice", "sim winner");
+              "GH pipe", "IJ model", "GH model", "QPS choice", "sim winner",
+              "diagnosis (winner)");
 
   double crossover = 0;
   for (std::uint64_t s : {1, 2, 4, 8, 16, 32}) {
@@ -40,22 +41,31 @@ int main(int argc, char** argv) {
     pc.options = pipelined_options();
     const auto p = run_scenario(pc);
     crossover = crossover_ne_cs(r.params);
+    const bool ij_wins = r.sim_ij.elapsed <= r.sim_gh.elapsed;
+    // Diagnosis column: one-line bottleneck verdict for the sim winner.
+    // Only instrumented runs (ORV_PROFILE / ORV_TRACE) assemble the trace
+    // DAG the diagnosis walks; otherwise the column shows "-".
+    const std::string diag =
+        r.diag_valid ? (ij_wins ? r.diag_ij : r.diag_gh).to_string()
+                     : std::string("-");
     std::printf(
         "%10.0f %10.4f | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f | %-11s "
-        "%-11s\n",
+        "%-11s | %s\n",
         r.ne_cs(), r.stats.edge_ratio, r.sim_ij.elapsed, r.sim_gh.elapsed,
         p.sim_ij.elapsed, p.sim_gh.elapsed, r.model_ij.total(),
         r.model_gh.total(), algorithm_name(r.planned),
-        r.sim_ij.elapsed <= r.sim_gh.elapsed ? "IndexedJoin" : "GraceHash");
+        ij_wins ? "IndexedJoin" : "GraceHash", diag.c_str());
     series.add_row(strformat(
         "{\"ne_cs\":%.0f,\"ij_serial\":%.6f,\"gh_serial\":%.6f,"
         "\"ij_pipelined\":%.6f,\"gh_pipelined\":%.6f,"
         "\"ij_model_serial\":%.6f,\"gh_model_serial\":%.6f,"
         "\"ij_model_pipelined\":%.6f,\"gh_model_pipelined\":%.6f,"
-        "\"ij_overlap_ratio\":%.4f}",
+        "\"ij_overlap_ratio\":%.4f,"
+        "\"ij_error_ratio\":%.6f,\"gh_error_ratio\":%.6f}",
         r.ne_cs(), r.sim_ij.elapsed, r.sim_gh.elapsed, p.sim_ij.elapsed,
         p.sim_gh.elapsed, r.model_ij.total(), r.model_gh.total(),
-        p.model_ij.total(), p.model_gh.total(), p.sim_ij.overlap_ratio));
+        p.model_ij.total(), p.model_gh.total(), p.sim_ij.overlap_ratio,
+        r.ij_error_ratio(), r.gh_error_ratio()));
   }
   std::printf("\nModel-predicted crossover: n_e*c_S = %.4g\n", crossover);
   std::printf("Expected paper shape: IJ below GH at small n_e*c_S, GH below "

@@ -1,0 +1,47 @@
+#pragma once
+
+// Bridge between the obs-layer online calibrator and the Section 5 cost
+// model: seeds a calibrator's priors from the parameters the planner
+// would otherwise use, reduces one instrumented run to a
+// QueryObservation, and applies a CalibrationState back onto CostParams.
+// The obs layer stays free of cost/executor types; everything
+// model-shaped lives here.
+
+#include <string>
+
+#include "cost/cost_model.hpp"
+#include "obs/calibrate.hpp"
+
+namespace orv {
+
+struct QesResult;
+
+namespace obs {
+class ObsContext;
+struct CriticalPath;
+}  // namespace obs
+
+/// Calibrator priors, taken from the cost parameters the planner assembled
+/// from the (possibly mis-stated) cluster spec.
+obs::CalibrationState calibration_priors(const CostParams& p);
+
+/// Overrides the hardware fields of `p` with calibrated effective values.
+/// Only parameters the state actually holds (> 0; msg_overhead once any
+/// query has been observed) are replaced, so an empty state is a no-op and
+/// the paper paths stay byte-identical.
+CostParams apply_calibration(CostParams p, const obs::CalibrationState& s);
+
+/// Reduces one instrumented run — executor accounting, the run context's
+/// stage aggregates, and the trace critical path — to the plain-number
+/// observation the calibrator consumes. `prior` supplies the binding
+/// analysis (is the transfer phase network- or disk-bound under the
+/// current beliefs?) and the CPU split for Grace Hash's fused
+/// build+probe spans.
+obs::QueryObservation make_observation(const CostParams& prior,
+                                       bool indexed_join,
+                                       const QesResult& result,
+                                       const obs::ObsContext& ctx,
+                                       const obs::CriticalPath& cp,
+                                       std::string label = {});
+
+}  // namespace orv

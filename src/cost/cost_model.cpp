@@ -67,11 +67,24 @@ double ij_transfer_cost(const CostParams& p) {
   return std::max({disk, remote, local});
 }
 
+/// Grappa-style per-message overhead: n_messages fixed costs paid by the
+/// n_s senders in parallel. Strictly additive on top of the bandwidth
+/// term and exactly 0 at the default msg_overhead = 0, so the paper's
+/// formulas are untouched unless the calibrator estimated a gamma.
+double message_overhead_cost(const CostParams& p, double n_messages) {
+  if (p.msg_overhead <= 0 || n_messages <= 0 || p.n_s <= 0) return 0;
+  return p.msg_overhead * n_messages / p.n_s;
+}
+
 }  // namespace
 
 CostBreakdown ij_cost(const CostParams& p) {
   CostBreakdown c;
   c.transfer = ij_transfer_cost(p);
+  if (p.msg_overhead > 0 && p.c_R > 0 && p.c_S > 0) {
+    // One request/response per sub-table fetch, m_R + m_S at minimum.
+    c.transfer += message_overhead_cost(p, p.T / p.c_R + p.T / p.c_S);
+  }
   c.cpu_build = p.alpha_build * p.T / p.n_j;
   c.cpu_lookup = p.alpha_lookup * p.n_e * p.c_S / p.n_j;
   return c;
@@ -80,6 +93,10 @@ CostBreakdown ij_cost(const CostParams& p) {
 CostBreakdown gh_cost(const CostParams& p) {
   CostBreakdown c;
   c.transfer = transfer_cost(p);
+  if (p.msg_overhead > 0 && p.batch_bytes > 0) {
+    // One h1 batch message per batch_bytes of shuffled records.
+    c.transfer += message_overhead_cost(p, total_bytes(p) / p.batch_bytes);
+  }
   // Bucket spill and re-read: n_j scratch disks, or the single shared
   // server (every bucket write/read funnels through it — Fig. 9).
   const double write_agg =

@@ -76,6 +76,12 @@ struct CostParams {
   double bucket_pair_bytes = 0;  // 0 derives from memory_bytes / 2
   double prefetch_lookahead = 0;  // IJ channel depth (0 = serial)
 
+  // Per-message fixed overhead (seconds per message, the Grappa-style
+  // gamma term the calibrator can estimate): senders pay it in parallel,
+  // so it adds msg_overhead * n_messages / n_s to the transfer term. At
+  // the default 0 every model reproduces the paper's formulas exactly.
+  double msg_overhead = 0;
+
   double m_S() const { return T / c_S; }  // number of right sub-tables
   double edge_ratio() const { return n_e * c_R * c_S / (T * T); }
 

@@ -180,6 +180,8 @@ void write_chrome_trace(JsonWriter& w,
                         const std::vector<ChromeTraceQuery>& queries) {
   std::size_t open_spans = 0;
   w.begin_object();
+  w.key("schemaVersion");
+  w.value(kObsSchemaVersion);
   w.key("displayTimeUnit");
   w.value("ms");
   w.key("traceEvents");

@@ -74,6 +74,11 @@ void JsonWriter::value(bool v) {
   out_ += v ? "true" : "false";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  comma();
+  out_ += json;
+}
+
 std::string JsonWriter::escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -141,6 +146,50 @@ void write_metrics(JsonWriter& w, const MetricsSnapshot& snap) {
     w.end_object();
   }
   w.end_object();
+  // Windowed instruments are opt-in; the keys only appear when some exist,
+  // so pre-existing exports stay byte-identical.
+  if (!snap.windowed_counters.empty()) {
+    w.key("windowed_counters");
+    w.begin_object();
+    for (const auto& wc : snap.windowed_counters) {
+      w.key(wc.name);
+      w.begin_object();
+      w.key("window_seconds");
+      w.value(wc.window_seconds);
+      w.key("total");
+      w.value(wc.total);
+      w.key("rate");
+      w.value(wc.rate);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!snap.windowed_histograms.empty()) {
+    w.key("windowed_histograms");
+    w.begin_object();
+    for (const auto& wh : snap.windowed_histograms) {
+      w.key(wh.name);
+      w.begin_object();
+      w.key("window_seconds");
+      w.value(wh.window_seconds);
+      w.key("count");
+      w.value(wh.count);
+      w.key("sum");
+      w.value(wh.sum);
+      w.key("min");
+      w.value(wh.min);
+      w.key("max");
+      w.value(wh.max);
+      w.key("p50");
+      w.value(wh.p50);
+      w.key("p95");
+      w.value(wh.p95);
+      w.key("p99");
+      w.value(wh.p99);
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -181,6 +230,8 @@ void write_spans(JsonWriter& w, const std::vector<SpanRecord>& spans) {
 std::string export_json(const ObsContext& ctx) {
   JsonWriter w;
   w.begin_object();
+  w.key("schema_version");
+  w.value(kObsSchemaVersion);
   w.key("metrics");
   write_metrics(w, ctx.registry.snapshot());
   w.key("spans");
@@ -218,6 +269,14 @@ std::string export_json(const ObsContext& ctx) {
     w.value(pv.measured);
     w.key("error_ratio");
     w.value(pv.error_ratio());
+    if (pv.calibrated) {
+      w.key("calibrated");
+      w.value(true);
+      w.key("predicted_prior");
+      w.value(pv.predicted_prior);
+      w.key("prior_error_ratio");
+      w.value(pv.prior_error_ratio());
+    }
     if (!pv.stages.empty()) {
       w.key("stages");
       w.begin_array();

@@ -17,6 +17,13 @@ namespace orv::obs {
 
 class ObsContext;
 
+/// Version stamp shared by the JSON exporters (full export, profile
+/// report, Chrome trace). Bumped whenever an exporter's structure changes,
+/// so downstream consumers (CI smoke validators, plotting scripts) fail
+/// loudly on drift instead of silently misreading. History: 1 = original
+/// unversioned exporters, 2 = versioned + windowed metrics + diagnosis.
+inline constexpr std::uint64_t kObsSchemaVersion = 2;
+
 /// Streaming writer; the caller is responsible for well-formed nesting
 /// (begin/end pairs). Keys and separators are emitted automatically.
 class JsonWriter {
@@ -31,6 +38,9 @@ class JsonWriter {
   void value(double v);
   void value(std::uint64_t v);
   void value(bool v);
+  /// Splices a pre-serialized JSON value (object/array/scalar) in value
+  /// position; the caller guarantees it is well-formed.
+  void raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   static std::string escape(std::string_view s);

@@ -59,33 +59,155 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+  return quantile_from_buckets(bounds_, bucket_counts(), count(), min(),
+                               max(), q);
+}
+
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets,
+                             std::uint64_t count, double min_v, double max_v,
+                             double q) {
+  if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the target observation, 1-based: ceil(q * n), at least 1.
   const std::uint64_t rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+      1,
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
   std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    const std::uint64_t in_bucket =
-        buckets_[b].load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
     if (cum + in_bucket < rank) {
       cum += in_bucket;
       continue;
     }
-    if (b == bounds_.size()) return max();  // +inf bucket
+    if (b == bounds.size()) return max_v;  // +inf bucket
     // Interpolate within [lower, upper]; the first bucket's lower edge is
     // the observed minimum (clamped so it never exceeds the bound).
-    const double upper = bounds_[b];
-    const double lower =
-        b == 0 ? std::min(min(), upper) : bounds_[b - 1];
+    const double upper = bounds[b];
+    const double lower = b == 0 ? std::min(min_v, upper) : bounds[b - 1];
     const double frac = in_bucket == 0
                             ? 1.0
                             : static_cast<double>(rank - cum) /
                                   static_cast<double>(in_bucket);
     return lower + (upper - lower) * frac;
   }
-  return max();
+  return max_v;
+}
+
+WindowedCounter::WindowedCounter(double slot_seconds, std::size_t slots)
+    : slot_seconds_(slot_seconds),
+      counts_(slots, 0),
+      epochs_(slots, std::numeric_limits<std::int64_t>::min()) {
+  ORV_REQUIRE(slot_seconds > 0 && slots > 0,
+              "windowed counter needs positive slot width and count");
+}
+
+std::int64_t WindowedCounter::epoch_of(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / slot_seconds_));
+}
+
+void WindowedCounter::add(double t, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t e = epoch_of(t);
+  const std::size_t idx =
+      static_cast<std::size_t>(((e % static_cast<std::int64_t>(counts_.size())) +
+                                static_cast<std::int64_t>(counts_.size())) %
+                               static_cast<std::int64_t>(counts_.size()));
+  if (epochs_[idx] != e) {
+    epochs_[idx] = e;
+    counts_[idx] = 0;
+  }
+  counts_[idx] += n;
+  if (t > last_time_) last_time_ = t;
+}
+
+std::uint64_t WindowedCounter::windowed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t newest = epoch_of(last_time_);
+  const std::int64_t oldest =
+      newest - static_cast<std::int64_t>(counts_.size()) + 1;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (epochs_[i] >= oldest && epochs_[i] <= newest) total += counts_[i];
+  }
+  return total;
+}
+
+double WindowedCounter::rate() const {
+  const double w = window_seconds();
+  return w > 0 ? static_cast<double>(windowed_total()) / w : 0.0;
+}
+
+double WindowedCounter::last_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_time_;
+}
+
+WindowedHistogram::WindowedHistogram(std::vector<double> upper_bounds,
+                                     double slot_seconds, std::size_t slots)
+    : bounds_(std::move(upper_bounds)),
+      slot_seconds_(slot_seconds),
+      slots_(slots) {
+  ORV_REQUIRE(slot_seconds > 0 && slots > 0,
+              "windowed histogram needs positive slot width and count");
+  ORV_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+  for (auto& s : slots_) s.buckets.assign(bounds_.size() + 1, 0);
+}
+
+std::int64_t WindowedHistogram::epoch_of(double t) const {
+  return static_cast<std::int64_t>(std::floor(t / slot_seconds_));
+}
+
+void WindowedHistogram::observe(double t, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t e = epoch_of(t);
+  const std::size_t idx =
+      static_cast<std::size_t>(((e % static_cast<std::int64_t>(slots_.size())) +
+                                static_cast<std::int64_t>(slots_.size())) %
+                               static_cast<std::int64_t>(slots_.size()));
+  Slot& slot = slots_[idx];
+  if (slot.epoch != e) {
+    slot.epoch = e;
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0;
+    slot.min = std::numeric_limits<double>::infinity();
+    slot.max = -std::numeric_limits<double>::infinity();
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++slot.buckets[static_cast<std::size_t>(it - bounds_.begin())];
+  ++slot.count;
+  slot.sum += v;
+  slot.min = std::min(slot.min, v);
+  slot.max = std::max(slot.max, v);
+  if (t > last_time_) last_time_ = t;
+}
+
+WindowedHistogram::Merged WindowedHistogram::merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t newest = epoch_of(last_time_);
+  const std::int64_t oldest =
+      newest - static_cast<std::int64_t>(slots_.size()) + 1;
+  std::vector<std::uint64_t> buckets(bounds_.size() + 1, 0);
+  Merged m;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (const Slot& s : slots_) {
+    if (s.epoch < oldest || s.epoch > newest || s.count == 0) continue;
+    for (std::size_t b = 0; b < buckets.size(); ++b) buckets[b] += s.buckets[b];
+    m.count += s.count;
+    m.sum += s.sum;
+    min_v = std::min(min_v, s.min);
+    max_v = std::max(max_v, s.max);
+  }
+  if (m.count == 0) return m;
+  m.min = min_v;
+  m.max = max_v;
+  m.p50 = quantile_from_buckets(bounds_, buckets, m.count, min_v, max_v, 0.50);
+  m.p95 = quantile_from_buckets(bounds_, buckets, m.count, min_v, max_v, 0.95);
+  m.p99 = quantile_from_buckets(bounds_, buckets, m.count, min_v, max_v, 0.99);
+  return m;
 }
 
 std::vector<double> exponential_bounds(double start, double factor,
@@ -135,6 +257,35 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
+WindowedCounter& Registry::windowed_counter(std::string_view name,
+                                            double slot_seconds,
+                                            std::size_t slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_counters_.find(name);
+  if (it == windowed_counters_.end()) {
+    it = windowed_counters_
+             .emplace(std::string(name),
+                      std::make_unique<WindowedCounter>(slot_seconds, slots))
+             .first;
+  }
+  return *it->second;
+}
+
+WindowedHistogram& Registry::windowed_histogram(
+    std::string_view name, const std::vector<double>& bounds,
+    double slot_seconds, std::size_t slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_histograms_.find(name);
+  if (it == windowed_histograms_.end()) {
+    it = windowed_histograms_
+             .emplace(std::string(name),
+                      std::make_unique<WindowedHistogram>(bounds, slot_seconds,
+                                                          slots))
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -160,6 +311,28 @@ MetricsSnapshot Registry::snapshot() const {
     }
     snap.histograms.push_back(std::move(out));
   }
+  for (const auto& [name, wc] : windowed_counters_) {
+    MetricsSnapshot::Window out;
+    out.name = name;
+    out.window_seconds = wc->window_seconds();
+    out.total = wc->windowed_total();
+    out.rate = wc->rate();
+    snap.windowed_counters.push_back(std::move(out));
+  }
+  for (const auto& [name, wh] : windowed_histograms_) {
+    const WindowedHistogram::Merged m = wh->merged();
+    MetricsSnapshot::WindowHist out;
+    out.name = name;
+    out.window_seconds = wh->window_seconds();
+    out.count = m.count;
+    out.sum = m.sum;
+    out.min = m.min;
+    out.max = m.max;
+    out.p50 = m.p50;
+    out.p95 = m.p95;
+    out.p99 = m.p99;
+    snap.windowed_histograms.push_back(std::move(out));
+  }
   return snap;
 }
 
@@ -168,6 +341,8 @@ void Registry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  windowed_counters_.clear();
+  windowed_histograms_.clear();
 }
 
 }  // namespace orv::obs

@@ -86,6 +86,92 @@ std::vector<double> exponential_bounds(double start, double factor,
 /// Default bounds for durations in seconds: 1us .. ~1000s, x2 steps.
 const std::vector<double>& duration_bounds();
 
+/// Shared quantile estimator over fixed-bound bucket counts (used by both
+/// the cumulative Histogram and the windowed merge): rank = max(1,
+/// ceil(q*n)), linear interpolation between the owning bucket's lower and
+/// upper bound; the first bucket's lower edge is the observed minimum,
+/// ranks landing in the +inf bucket return the observed maximum.
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& buckets,
+                             std::uint64_t count, double min_v, double max_v,
+                             double q);
+
+/// Time-windowed counter: a ring of `slots` buckets, each covering
+/// `slot_seconds` of (virtual or wall) time. Mutations carry an explicit
+/// timestamp — under the simulation clock that keeps windowed rates
+/// deterministic and replayable. Slots older than the window are lazily
+/// zeroed as time advances; totals and rates are evaluated "as of" the
+/// most recent event time, so a snapshot never depends on when it is
+/// taken, only on what was observed.
+class WindowedCounter {
+ public:
+  WindowedCounter(double slot_seconds, std::size_t slots);
+
+  void add(double t, std::uint64_t n = 1);
+
+  /// Sum over the window ending at the last observed event time.
+  std::uint64_t windowed_total() const;
+  /// windowed_total / window_seconds, events per second.
+  double rate() const;
+
+  double window_seconds() const {
+    return slot_seconds_ * static_cast<double>(counts_.size());
+  }
+  double last_time() const;
+
+ private:
+  std::int64_t epoch_of(double t) const;
+
+  mutable std::mutex mu_;
+  double slot_seconds_;
+  double last_time_ = 0;
+  std::vector<std::uint64_t> counts_;
+  std::vector<std::int64_t> epochs_;  // slot epoch owning each ring entry
+};
+
+/// Time-windowed histogram: same ring-of-slots scheme, each slot holding a
+/// full bucket-count vector plus count/sum/min/max, so windowed
+/// p50/p95/p99 exist alongside the cumulative Histogram's lifetime
+/// quantiles.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(std::vector<double> upper_bounds, double slot_seconds,
+                    std::size_t slots);
+
+  void observe(double t, double v);
+
+  struct Merged {
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  /// Merges the slots of the window ending at the last event time.
+  Merged merged() const;
+
+  double window_seconds() const {
+    return slot_seconds_ * static_cast<double>(slots_.size());
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slot {
+    std::int64_t epoch = std::numeric_limits<std::int64_t>::min();
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  std::int64_t epoch_of(double t) const;
+
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  double slot_seconds_;
+  double last_time_ = 0;
+  std::vector<Slot> slots_;
+};
+
 struct MetricsSnapshot {
   struct Hist {
     std::string name;
@@ -94,9 +180,23 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     double sum = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
   };
+  struct Window {
+    std::string name;
+    double window_seconds = 0;
+    std::uint64_t total = 0;  // events inside the window
+    double rate = 0;          // events per second over the window
+  };
+  struct WindowHist {
+    std::string name;
+    double window_seconds = 0;
+    std::uint64_t count = 0;
+    double sum = 0, min = 0, max = 0, p50 = 0, p95 = 0, p99 = 0;
+  };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<Hist> histograms;
+  std::vector<Window> windowed_counters;
+  std::vector<WindowHist> windowed_histograms;
 };
 
 class Registry {
@@ -107,6 +207,17 @@ class Registry {
   /// name return the existing histogram unchanged.
   Histogram& histogram(std::string_view name,
                        const std::vector<double>& bounds = duration_bounds());
+  /// Windowed instruments: `slot_seconds`/`slots` apply only on first
+  /// creation (like histogram bounds). The defaults give a 1-second window
+  /// in 16 slots — suitable for sub-second simulated queries; concurrent
+  /// workload drivers pass their own.
+  WindowedCounter& windowed_counter(std::string_view name,
+                                    double slot_seconds = 1.0 / 16,
+                                    std::size_t slots = 16);
+  WindowedHistogram& windowed_histogram(
+      std::string_view name,
+      const std::vector<double>& bounds = duration_bounds(),
+      double slot_seconds = 1.0 / 16, std::size_t slots = 16);
 
   MetricsSnapshot snapshot() const;
   void clear();
@@ -116,6 +227,10 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>, std::less<>>
+      windowed_counters_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_histograms_;
 };
 
 }  // namespace orv::obs

@@ -50,6 +50,11 @@ struct PlanValidation {
   double predicted_gh = 0;  // model total for Grace Hash, seconds
   double predicted = 0;     // model total for the chosen algorithm
   double measured = 0;      // simulated/real elapsed seconds
+  /// True when the planner consulted calibrated hardware parameters; the
+  /// pre-calibration prediction is then kept in predicted_prior so the
+  /// pre/post error ratios stay comparable.
+  bool calibrated = false;
+  double predicted_prior = 0;  // model total under the uncalibrated priors
   /// Per-stage model terms vs critical-path attribution (may be empty
   /// when no trace was assembled for the run).
   std::vector<StageAccuracy> stages;
@@ -57,6 +62,11 @@ struct PlanValidation {
   /// measured / predicted; 0 when the prediction is degenerate.
   double error_ratio() const {
     return predicted > 0 ? measured / predicted : 0.0;
+  }
+  /// measured / predicted_prior — what the error would have been without
+  /// calibration; 0 when no prior prediction was recorded.
+  double prior_error_ratio() const {
+    return predicted_prior > 0 ? measured / predicted_prior : 0.0;
   }
 };
 

@@ -60,6 +60,8 @@ ExecutionProfile build_profile(const ObsContext& ctx, std::string query,
 std::string ExecutionProfile::to_json() const {
   JsonWriter w;
   w.begin_object();
+  w.key("schema_version");
+  w.value(kObsSchemaVersion);
   w.key("query");
   w.value(query);
   w.key("algorithm");
@@ -109,6 +111,14 @@ std::string ExecutionProfile::to_json() const {
     w.value(plan.measured);
     w.key("error_ratio");
     w.value(plan.error_ratio());
+    if (plan.calibrated) {
+      w.key("calibrated");
+      w.value(true);
+      w.key("predicted_prior");
+      w.value(plan.predicted_prior);
+      w.key("prior_error_ratio");
+      w.value(plan.prior_error_ratio());
+    }
     if (!plan.stages.empty()) {
       w.key("stages");
       w.begin_array();
@@ -127,6 +137,10 @@ std::string ExecutionProfile::to_json() const {
       w.end_array();
     }
     w.end_object();
+  }
+  if (has_diagnosis) {
+    w.key("diagnosis");
+    w.raw(diagnosis.to_json());
   }
   w.end_object();
   return w.str();

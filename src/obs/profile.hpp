@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/diag.hpp"
 #include "obs/obs.hpp"
 
 namespace orv::obs {
@@ -29,6 +30,10 @@ struct ExecutionProfile {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   bool has_plan = false;
   PlanValidation plan;
+  /// Optional bottleneck diagnosis for the run (obs/diag.hpp); emitted as
+  /// a "diagnosis" object when present.
+  bool has_diagnosis = false;
+  Diagnosis diagnosis;
 
   std::string to_json() const;
 };

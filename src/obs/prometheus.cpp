@@ -1,0 +1,91 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace orv::obs {
+
+namespace {
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  return strformat("%.9g", v);
+}
+
+void type_line(std::string& out, const std::string& family,
+               const char* type) {
+  out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) out += name_char_ok(c) ? c : '_';
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap,
+                            std::string_view prefix) {
+  const std::string pfx = std::string(prefix) + "_";
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string family = pfx + prometheus_name(name) + "_total";
+    type_line(out, family, "counter");
+    out += family + " " + strformat("%llu", (unsigned long long)v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string family = pfx + prometheus_name(name);
+    type_line(out, family, "gauge");
+    out += family + " " + fmt_double(v) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string family = pfx + prometheus_name(h.name);
+    type_line(out, family, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cum += b < h.counts.size() ? h.counts[b] : 0;
+      out += family + "_bucket{le=\"" + fmt_double(h.bounds[b]) + "\"} " +
+             strformat("%llu", (unsigned long long)cum) + "\n";
+    }
+    out += family + "_bucket{le=\"+Inf\"} " +
+           strformat("%llu", (unsigned long long)h.count) + "\n";
+    out += family + "_sum " + fmt_double(h.sum) + "\n";
+    out += family + "_count " + strformat("%llu", (unsigned long long)h.count) +
+           "\n";
+  }
+  for (const auto& w : snap.windowed_counters) {
+    const std::string family = pfx + prometheus_name(w.name);
+    type_line(out, family + "_window_total", "gauge");
+    out += family + "_window_total{window=\"" +
+           fmt_double(w.window_seconds) + "\"} " +
+           strformat("%llu", (unsigned long long)w.total) + "\n";
+    type_line(out, family + "_rate", "gauge");
+    out += family + "_rate{window=\"" + fmt_double(w.window_seconds) + "\"} " +
+           fmt_double(w.rate) + "\n";
+  }
+  for (const auto& wh : snap.windowed_histograms) {
+    const std::string family = pfx + prometheus_name(wh.name) + "_window";
+    type_line(out, family, "summary");
+    const std::pair<const char*, double> qs[] = {
+        {"0.5", wh.p50}, {"0.95", wh.p95}, {"0.99", wh.p99}};
+    for (const auto& [q, v] : qs) {
+      out += family + "{quantile=\"" + q + "\",window=\"" +
+             fmt_double(wh.window_seconds) + "\"} " + fmt_double(v) + "\n";
+    }
+    out += family + "_sum " + fmt_double(wh.sum) + "\n";
+    out += family + "_count " +
+           strformat("%llu", (unsigned long long)wh.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace orv::obs

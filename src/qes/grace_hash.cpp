@@ -83,6 +83,10 @@ struct GhShared {
   std::uint64_t rows_repartitioned = 0;
   std::uint64_t compute_nodes_lost = 0;
 
+  /// Per-receiver work accounting (skew diagnosis): busy seconds over both
+  /// phases, h1 rows received, batch bytes ingested.
+  std::vector<QesResult::NodeWork> node_work;
+
   // Trace-context plumbing + occupancy-sampler lifecycle (mirrors the
   // Indexed Join): the query completes when the last compute node
   // finishes, and that instant — not the sampler's trailing tick — is the
@@ -437,6 +441,16 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
       }
     }
   } finished{sh};
+  // Busy-window accounting for the skew diagnosis. Recorded at the normal
+  // exit points only (not the guard above): on a failed query suspended
+  // frames are destroyed after GhShared is gone, so the destructor must
+  // not chase pointers into it.
+  const double node_start = sh.cluster.engine().now();
+  auto book_busy = [&] {
+    auto& nw = sh.node_work[node];
+    nw.node = node;
+    nw.busy_seconds += sh.cluster.engine().now() - node_start;
+  };
   const auto& hw = sh.cluster.spec().hw;
   const double factor = sh.options.cpu_work_factor;
   auto& cpu = sh.cluster.compute_cpu(node);
@@ -519,6 +533,8 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
         batch_counter->add(1);
         batch_bytes_counter->add(batch.bytes.size());
       }
+      sh.node_work[node].items += batch.rows;
+      sh.node_work[node].bytes += static_cast<double>(batch.bytes.size());
       // Per-batch ingest span, causally linked to the sender's gh.send
       // span: the link is the cross-node edge that stitches the h1
       // transfer into one DAG (and lets critical-path analysis hop from a
@@ -577,6 +593,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
   if (inj && !sh.final_dead.empty() && sh.final_dead[node]) {
     // Fail-stop: a dead node joins no buckets; every row routed to it has
     // been re-sent to a survivor.
+    book_busy();
     co_return;
   }
 
@@ -652,6 +669,7 @@ sim::Task<> gh_compute(GhShared& sh, std::size_t node) {
     sh.fingerprint += out.unordered_fingerprint();
     if (sh.options.result_sink) sh.options.result_sink(node, out);
   }
+  book_busy();
 }
 
 double scratch_bytes_written(Cluster& cluster) {
@@ -727,6 +745,7 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
       std::make_unique<sim::Latch>(engine, cluster.num_compute());
   sh.round_gate = std::make_unique<sim::Event>(engine);
   sh.computes_left = cluster.num_compute();
+  sh.node_work.resize(cluster.num_compute());
 
   auto* octx = obs::context();
   if (octx) {
@@ -795,6 +814,7 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
   result.fetch_retries = sh.fetch_retries;
   result.rows_repartitioned = sh.rows_repartitioned;
   result.compute_nodes_lost = sh.compute_nodes_lost;
+  result.node_work = std::move(sh.node_work);
   result.degraded = sh.fetch_retries > 0 || sh.rows_repartitioned > 0 ||
                     sh.compute_nodes_lost > 0;
   if (result.degraded) {

@@ -87,6 +87,10 @@ struct IjShared {
   // Per-node "ij.node" span ids; parents for fetch/build/probe spans.
   std::vector<obs::SpanId> node_spans;
 
+  /// Per-node work accounting (skew diagnosis): busy seconds, pairs
+  /// joined, bytes fetched. Accumulates across supervisor rounds.
+  std::vector<QesResult::NodeWork> node_work;
+
   // Trace-context plumbing: the query's trace id and root span, the
   // supervisor span node spans parent on, and the supervisor's completion
   // signal for the occupancy sampler (which must not keep the engine
@@ -146,6 +150,7 @@ sim::Task<std::shared_ptr<const SubTable>> fetch_subtable(
         st = std::make_shared<const SubTable>(
             filter_rows(*st, st->schema(), sh.query.ranges));
       }
+      sh.node_work[node].bytes += static_cast<double>(st->size_bytes());
       co_return st;
     } catch (const IoError& e) {
       cache.invalidate(id);  // a cached copy of a failing source is suspect
@@ -359,6 +364,7 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
   auto& cpu = sh.cluster.compute_cpu(node);
   ChunkId out_seq = 0;
 
+  const double node_start = sh.cluster.engine().now();
   obs::StageScope node_stage(obs::context(), "ij.node", rpc.parent);
   node_stage.tag("node", static_cast<std::uint64_t>(node));
   node_stage.tag("pairs", static_cast<std::uint64_t>(pairs.size()));
@@ -588,6 +594,11 @@ sim::Task<> ij_node(IjShared& sh, std::size_t node,
       octx->tracer.end_orphaned(node_stage.id());
     }
   }
+  auto& nw = sh.node_work[node];
+  nw.node = node;
+  nw.busy_seconds += sh.cluster.engine().now() - node_start;
+  nw.items += next;  // pairs whose output this node accumulated
+
   // Report only this run's cache activity (session caches accumulate).
   CachingService::Stats delta = cache.stats();
   delta.hits -= stats_before.hits;
@@ -728,6 +739,7 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   const double sread0 = storage_read_bytes(cluster);
 
   sh.node_spans.resize(cluster.num_compute());
+  sh.node_work.resize(cluster.num_compute());
   sh.dead.assign(cluster.num_compute(), 0);
   const double start = engine.now();
   auto* octx = obs::context();
@@ -780,6 +792,7 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
   result.compute_nodes_lost = sh.compute_nodes_lost;
   result.prefetch_issued = sh.prefetch_issued;
   result.prefetch_wasted = sh.prefetch_wasted;
+  result.node_work = std::move(sh.node_work);
   if (sh.fetch_busy > 0) {
     // 1 when the join loop never starved on the channel (all Transfer
     // hidden behind Cpu); 0 when every fetch second was waited out.

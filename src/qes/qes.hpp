@@ -31,6 +31,10 @@
 #include "meta/metadata.hpp"
 #include "sched/schedule.hpp"
 
+namespace orv::obs {
+class Calibrator;
+}  // namespace orv::obs
+
 namespace orv {
 
 /// An equi-join view query: V = left ⊕_attrs right [WHERE ranges].
@@ -96,6 +100,15 @@ struct QesOptions {
   /// pipelined cost models iff this holds.
   bool pipelined() const { return prefetch_lookahead > 0 || gh_double_buffer; }
 
+  /// QPS integration: consult the online calibrator's learned hardware
+  /// parameters when costing plans (the harness feeds the calibrator one
+  /// observation per executed query via cost/calibration.hpp's
+  /// make_observation). Default off — the paper's prior-parameter plans
+  /// and every committed baseline stay byte-identical. The pointer is not
+  /// owned and must outlive the planner calls that read it.
+  bool use_calibration = false;
+  obs::Calibrator* calibrator = nullptr;
+
   std::uint64_t seed = 0;  // for randomized ablation strategies
 
   /// Optional per-result-fragment hook, invoked at the producing compute
@@ -128,6 +141,18 @@ struct QesResult {
   /// non-colocated cluster local_transfer_bytes is 0.
   double cross_switch_bytes = 0;
   double local_transfer_bytes = 0;
+
+  /// Per-compute-node work accounting, the diagnosis engine's skew feed:
+  /// how long each node was busy with the query, how many work items it
+  /// processed (IJ: pairs joined; GH: rows received), and how many bytes
+  /// it pulled (IJ: sub-table fetches; GH: h1 batch ingress).
+  struct NodeWork {
+    std::size_t node = 0;
+    double busy_seconds = 0;
+    std::uint64_t items = 0;
+    double bytes = 0;
+  };
+  std::vector<NodeWork> node_work;
 
   // IJ cache behaviour, aggregated over compute nodes.
   CachingService::Stats cache_stats;

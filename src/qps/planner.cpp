@@ -1,10 +1,26 @@
 #include "qps/planner.hpp"
 
 #include "common/strings.hpp"
+#include "cost/calibration.hpp"
+#include "obs/calibrate.hpp"
 #include "obs/obs.hpp"
 #include "place/placement.hpp"
 
 namespace orv {
+
+namespace {
+
+CostBreakdown plan_ij_cost(const CostParams& p, const QesOptions* qes) {
+  return qes != nullptr && qes->prefetch_lookahead > 0 ? ij_cost_pipelined(p)
+                                                       : ij_cost(p);
+}
+
+CostBreakdown plan_gh_cost(const CostParams& p, const QesOptions* qes) {
+  return qes != nullptr && qes->gh_double_buffer ? gh_cost_pipelined(p)
+                                                 : gh_cost(p);
+}
+
+}  // namespace
 
 const char* algorithm_name(Algorithm a) {
   return a == Algorithm::IndexedJoin ? "IndexedJoin" : "GraceHash";
@@ -33,13 +49,25 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
   // Per-algorithm selection: the prefetcher only pipelines IJ, the spill
   // double-buffer only pipelines GH. (ij_cost_pipelined at lookahead 0
   // coincides with ij_cost, so the flags compose.)
-  d.ij = d.pipelined && qes->prefetch_lookahead > 0
-             ? ij_cost_pipelined(d.params)
-             : ij_cost(d.params);
-  d.gh = d.pipelined && qes->gh_double_buffer ? gh_cost_pipelined(d.params)
-                                              : gh_cost(d.params);
+  d.ij = plan_ij_cost(d.params, qes);
+  d.gh = plan_gh_cost(d.params, qes);
   d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
                                           : Algorithm::GraceHash;
+  if (qes != nullptr && qes->use_calibration && qes->calibrator != nullptr) {
+    // Re-plan with the calibrator's learned hardware parameters; the
+    // spec-sheet plan is kept as the prior so validation can report the
+    // pre/post error ratio.
+    d.calibrated = true;
+    d.prior_params = d.params;
+    d.prior_ij = d.ij;
+    d.prior_gh = d.gh;
+    d.params = apply_calibration(d.params, qes->calibrator->state());
+    d.ij = plan_ij_cost(d.params, qes);
+    d.gh = plan_gh_cost(d.params, qes);
+    d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
+                                            : Algorithm::GraceHash;
+    stage.tag("calibrated", std::uint64_t{1});
+  }
   stage.tag("chosen", std::string(algorithm_name(d.chosen)));
   return d;
 }
@@ -71,11 +99,15 @@ PlanDecision QueryPlanner::plan(const MetaDataService& meta,
         qes->pair_order, qes->seed);
     d.params.local_fraction =
         schedule_local_fraction(predicted, meta, cluster_.num_storage);
-    d.ij = d.pipelined && qes->prefetch_lookahead > 0
-               ? ij_cost_pipelined(d.params)
-               : ij_cost(d.params);
+    d.ij = plan_ij_cost(d.params, qes);
     d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin
                                             : Algorithm::GraceHash;
+    if (d.calibrated) {
+      // Keep the prior plan refined the same way, so the pre/post error
+      // ratio compares models that differ only in hardware parameters.
+      d.prior_params.local_fraction = d.params.local_fraction;
+      d.prior_ij = plan_ij_cost(d.prior_params, qes);
+    }
   }
   return d;
 }
@@ -110,6 +142,10 @@ QesResult QueryPlanner::execute(const PlanDecision& decision, Cluster& cluster,
     pv.predicted_gh = decision.gh.total();
     pv.predicted = decision.predicted_seconds();
     pv.measured = result.elapsed;
+    if (decision.calibrated) {
+      pv.calibrated = true;
+      pv.predicted_prior = decision.predicted_prior_seconds();
+    }
     ctx->add_plan_validation(std::move(pv));
   }
   return result;

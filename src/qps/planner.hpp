@@ -24,8 +24,23 @@ struct PlanDecision {
   /// True when the pipelined (overlapped fetch/compute) models were used.
   bool pipelined = false;
 
+  /// Set when QesOptions::use_calibration replaced the spec-sheet
+  /// parameters with the calibrator's learned ones: `params`/`ij`/`gh`
+  /// then hold the calibrated plan, and the prior (uncalibrated) plan is
+  /// kept here so validation can report the before/after error ratio.
+  bool calibrated = false;
+  CostParams prior_params;
+  CostBreakdown prior_ij;
+  CostBreakdown prior_gh;
+
   double predicted_seconds() const {
     return chosen == Algorithm::IndexedJoin ? ij.total() : gh.total();
+  }
+  /// Prior model's prediction for the algorithm actually chosen (only
+  /// meaningful when `calibrated`).
+  double predicted_prior_seconds() const {
+    return chosen == Algorithm::IndexedJoin ? prior_ij.total()
+                                            : prior_gh.total();
   }
   std::string to_string() const;
 };

@@ -1,0 +1,196 @@
+// Time-windowed instruments and the Prometheus exporter: the shared
+// bucket-quantile estimator's boundary behaviour, windowed counter /
+// histogram expiry semantics (totals evaluated as-of the last event, old
+// slots lazily zeroed), and the text exposition format.
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace orv::obs {
+namespace {
+
+// --------------------------------------------- quantile_from_buckets
+
+TEST(QuantileFromBuckets, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile_from_buckets({1.0, 2.0}, {0, 0, 0}, 0, 0, 0, 0.5),
+                   0.0);
+}
+
+TEST(QuantileFromBuckets, SingleSampleResolvesToOwningBucketUpperEdge) {
+  // One observation of 1.5 lands in bucket (1, 2]. Every quantile has
+  // rank 1, the sole sample of its bucket, so interpolation lands on the
+  // bucket's upper edge — bounded estimate, never outside the bucket.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> counts = {0, 1, 0, 0};
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(
+        quantile_from_buckets(bounds, counts, 1, 1.5, 1.5, q), 2.0)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileFromBuckets, InterpolatesInsideOwningBucket) {
+  // Four samples in bucket (10, 20]: ranks 1..4 spread linearly across
+  // the bucket span.
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::uint64_t> counts = {0, 4, 0};
+  // rank(0.5) = 2 -> 10 + 20/4 * 2... exact interpolation form: lower +
+  // width * rank_in_bucket / bucket_count.
+  const double p50 = quantile_from_buckets(bounds, counts, 4, 11.0, 19.0, 0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 20.0);
+  const double p25 = quantile_from_buckets(bounds, counts, 4, 11.0, 19.0, 0.25);
+  const double p99 = quantile_from_buckets(bounds, counts, 4, 11.0, 19.0, 0.99);
+  EXPECT_LT(p25, p50);
+  EXPECT_LT(p50, p99);
+}
+
+TEST(QuantileFromBuckets, FirstBucketLowerEdgeIsObservedMin) {
+  // All samples in the first bucket: interpolation starts at the observed
+  // minimum, not at 0, so low quantiles never undershoot the data.
+  const std::vector<double> bounds = {100.0};
+  const std::vector<std::uint64_t> counts = {10, 0};
+  const double p10 = quantile_from_buckets(bounds, counts, 10, 42.0, 99.0, 0.1);
+  EXPECT_GE(p10, 42.0);
+}
+
+TEST(QuantileFromBuckets, RankInOverflowBucketReturnsMax) {
+  const std::vector<double> bounds = {1.0};
+  const std::vector<std::uint64_t> counts = {1, 3};  // 3 samples beyond 1.0
+  EXPECT_DOUBLE_EQ(
+      quantile_from_buckets(bounds, counts, 4, 0.5, 123.0, 0.99), 123.0);
+}
+
+// --------------------------------------------------- WindowedCounter
+
+TEST(WindowedCounterTest, TotalAndRateOverWindow) {
+  WindowedCounter wc(/*slot_seconds=*/0.25, /*slots=*/4);  // 1s window
+  wc.add(0.0, 2);
+  wc.add(0.3, 3);
+  wc.add(0.9, 5);
+  EXPECT_EQ(wc.windowed_total(), 10u);
+  EXPECT_DOUBLE_EQ(wc.window_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(wc.rate(), 10.0);
+  EXPECT_DOUBLE_EQ(wc.last_time(), 0.9);
+}
+
+TEST(WindowedCounterTest, OldSlotsExpireAsTimeAdvances) {
+  WindowedCounter wc(0.25, 4);
+  wc.add(0.0, 100);
+  wc.add(2.0, 7);  // 2.0 - 0.0 > window: the old slot is out of range
+  EXPECT_EQ(wc.windowed_total(), 7u);
+}
+
+TEST(WindowedCounterTest, SnapshotIsAsOfLastEventNotNow) {
+  // Nothing advances the window but an explicit event: repeated snapshots
+  // see the same totals however long the caller waits, which keeps
+  // sim-time runs deterministic.
+  WindowedCounter wc(0.25, 4);
+  wc.add(1.0, 4);
+  const auto first = wc.windowed_total();
+  const auto second = wc.windowed_total();
+  EXPECT_EQ(first, 4u);
+  EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------------- WindowedHistogram
+
+TEST(WindowedHistogramTest, MergedStatsOverWindow) {
+  WindowedHistogram wh({1.0, 2.0, 4.0}, /*slot_seconds=*/0.5, /*slots=*/4);
+  wh.observe(0.1, 0.5);
+  wh.observe(0.6, 1.5);
+  wh.observe(1.2, 3.0);
+  const auto m = wh.merged();
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_DOUBLE_EQ(m.sum, 5.0);
+  EXPECT_DOUBLE_EQ(m.min, 0.5);
+  EXPECT_DOUBLE_EQ(m.max, 3.0);
+  EXPECT_GE(m.p50, 0.5);
+  EXPECT_LE(m.p50, 3.0);
+  EXPECT_LE(m.p50, m.p95);
+  EXPECT_LE(m.p95, m.p99);
+}
+
+TEST(WindowedHistogramTest, ExpiredSlotsDropOut) {
+  WindowedHistogram wh({1.0, 2.0}, 0.5, 4);  // 2s window
+  wh.observe(0.0, 0.5);
+  wh.observe(10.0, 1.5);  // far past the window: only this one remains
+  const auto m = wh.merged();
+  EXPECT_EQ(m.count, 1u);
+  EXPECT_DOUBLE_EQ(m.min, 1.5);
+  EXPECT_DOUBLE_EQ(m.max, 1.5);
+}
+
+TEST(RegistryWindowed, SnapshotListsWindowedInstruments) {
+  Registry reg;
+  reg.windowed_counter("w.count", 0.25, 4).add(0.1, 3);
+  reg.windowed_histogram("w.hist", {1.0, 2.0}, 0.25, 4).observe(0.1, 1.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.windowed_counters.size(), 1u);
+  EXPECT_EQ(snap.windowed_counters[0].name, "w.count");
+  EXPECT_EQ(snap.windowed_counters[0].total, 3u);
+  EXPECT_DOUBLE_EQ(snap.windowed_counters[0].window_seconds, 1.0);
+  ASSERT_EQ(snap.windowed_histograms.size(), 1u);
+  EXPECT_EQ(snap.windowed_histograms[0].name, "w.hist");
+  EXPECT_EQ(snap.windowed_histograms[0].count, 1u);
+}
+
+TEST(RegistryWindowed, SameNameReturnsSameInstrument) {
+  Registry reg;
+  auto& a = reg.windowed_counter("dup", 0.25, 4);
+  auto& b = reg.windowed_counter("dup", 99.0, 99);  // params ignored
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(b.window_seconds(), 1.0);
+}
+
+// ------------------------------------------------------- Prometheus
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(prometheus_name("ij.fetch_seconds"), "ij_fetch_seconds");
+  EXPECT_EQ(prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+}
+
+TEST(Prometheus, TextExpositionCoversEveryInstrumentKind) {
+  Registry reg;
+  reg.counter("ij.pairs").add(42);
+  reg.gauge("calib.net_bw").set(12.5);
+  reg.histogram("ij.fetch_seconds", {1.0, 2.0}).observe(1.5);
+  reg.windowed_counter("rows", 0.25, 4).add(0.1, 8);
+  reg.windowed_histogram("lat", {1.0}, 0.25, 4).observe(0.1, 0.5);
+  const std::string text = prometheus_text(reg.snapshot());
+
+  EXPECT_NE(text.find("# TYPE orv_ij_pairs_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_ij_pairs_total 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE orv_calib_net_bw gauge"), std::string::npos);
+  EXPECT_NE(text.find("orv_calib_net_bw 12.5"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == count.
+  EXPECT_NE(text.find("orv_ij_fetch_seconds_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_ij_fetch_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_ij_fetch_seconds_count 1"), std::string::npos);
+  // Windowed counter: gauge-style window total and rate.
+  EXPECT_NE(text.find("orv_rows_window_total{window=\"1\"} 8"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_rows_rate{window=\"1\"} 8"), std::string::npos);
+  // Windowed histogram: summary with labeled quantiles.
+  EXPECT_NE(text.find("# TYPE orv_lat_window summary"), std::string::npos);
+  EXPECT_NE(text.find("orv_lat_window{quantile=\"0.5\",window=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_lat_window_count 1"), std::string::npos);
+}
+
+TEST(Prometheus, CustomPrefix) {
+  Registry reg;
+  reg.counter("c").add(1);
+  const std::string text = prometheus_text(reg.snapshot(), "qes");
+  EXPECT_NE(text.find("qes_c_total 1"), std::string::npos);
+  EXPECT_EQ(text.find("orv_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orv::obs
