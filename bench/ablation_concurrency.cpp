@@ -1,0 +1,244 @@
+// Ablation: concurrent multi-query workloads (ISSUE: latency vs offered
+// load under the open-loop Poisson driver).
+//
+// A mixed IJ/GH query stream is offered to the shared cluster at rising
+// multiples rho of its single-query capacity (rho = 1 means queries
+// arrive exactly as fast as one query completes solo). Expected shape:
+// throughput climbs with offered load until the cluster saturates, then
+// plateaus while p99 latency keeps rising — the classic open-loop knee.
+// At overload, capping concurrency without bounding the queue lets queue
+// waits grow without limit; the admission controller's bounded run queue
+// rejects the excess instead, holding p99 queue wait down at the price of
+// an explicit rejection count.
+//
+//   --out <path.json>  writes the series for the bench_compare gate
+//                      (BENCH_concurrency.json).
+//   --check            CI perf-smoke mode: asserts the saturation shape,
+//                      rising p99, zero lost queries, and that the bounded
+//                      queue beats the unbounded one on p99 queue wait at
+//                      overload.
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace orv;
+using namespace orv::bench;
+
+DatasetSpec workload_dataset() {
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = {8, 8, 8};
+  data.part2 = {4, 4, 4};
+  data.num_storage_nodes = 3;
+  return data;
+}
+
+ClusterSpec workload_cluster() {
+  ClusterSpec cspec;
+  cspec.num_storage = 3;
+  cspec.num_compute = 4;
+  return cspec;
+}
+
+/// Three-client mix over the dataset: the full view, a half-space slice,
+/// and a narrow slab — algorithms left to the planner.
+WorkloadSpec mixed_workload(const DatasetSpec& data, double per_client_rate,
+                            std::size_t queries_per_client) {
+  const JoinQuery full{data.table1_id, data.table2_id, {"x", "y", "z"}, {}};
+  JoinQuery half = full;
+  half.ranges = {{"x", {0.0, 15.0}}};
+  JoinQuery slab = full;
+  slab.ranges = {{"z", {12.0, 19.0}}};
+
+  WorkloadSpec spec;
+  spec.seed = 2006;
+  // Private per-query caches: with the shared session cache on, repeat
+  // queries collapse to near-zero service time and the offered-load
+  // normalization loses meaning (cross-query caching is measured by
+  // ablation_session_cache; this ablation measures contention).
+  spec.session.share_cache = false;
+  const JoinQuery queries[3] = {full, half, slab};
+  for (std::size_t c = 0; c < 3; ++c) {
+    WorkloadClientSpec client;
+    client.name = "client" + std::to_string(c);
+    client.mix.push_back({queries[c], std::nullopt, 2.0, 0.0});
+    client.mix.push_back({queries[(c + 1) % 3], std::nullopt, 1.0, 0.0});
+    client.poisson_rate = per_client_rate;
+    client.num_queries = queries_per_client;
+    spec.clients.push_back(std::move(client));
+  }
+  return spec;
+}
+
+struct LoadPoint {
+  double rho = 0;
+  WorkloadResult result;
+};
+
+WorkloadResult run_spec(const GeneratedDataset& ds, const ClusterSpec& cspec,
+                        const WorkloadSpec& spec) {
+  sim::Engine engine;
+  Cluster cluster(engine, cspec);
+  BdsService bds(cluster, ds.meta, ds.stores);
+  return run_workload(cluster, bds, ds.meta, spec);
+}
+
+/// Mean solo service time of the mix — the normalizer that turns arrival
+/// rates into rho. Each of the three specs appears with the same overall
+/// weight across the clients, so the plain mean is the mix mean. Measured
+/// by running each query alone on an idle cluster (planner's choice of
+/// algorithm, exactly as the driver runs it).
+double solo_seconds(const GeneratedDataset& ds, const DatasetSpec& data,
+                    const ClusterSpec& cspec) {
+  const JoinQuery full{data.table1_id, data.table2_id, {"x", "y", "z"}, {}};
+  JoinQuery half = full;
+  half.ranges = {{"x", {0.0, 15.0}}};
+  JoinQuery slab = full;
+  slab.ranges = {{"z", {12.0, 19.0}}};
+  double total = 0;
+  for (const JoinQuery& q : {full, half, slab}) {
+    WorkloadSpec one;
+    WorkloadClientSpec client;
+    client.name = "solo";
+    client.mix.push_back({q, std::nullopt, 1.0, 0.0});
+    client.trace_arrivals = {0.0};
+    one.clients.push_back(std::move(client));
+    one.session.share_cache = false;
+    const WorkloadResult r = run_spec(ds, cspec, one);
+    total += r.outcomes.at(0).service();
+  }
+  return total / 3.0;
+}
+
+constexpr double kRhos[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+constexpr std::size_t kQueriesPerClient = 8;
+constexpr std::size_t kOverloadQueriesPerClient = 12;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  const std::string out_path = parse_out_path(argc, argv);
+
+  print_banner("Ablation", "concurrent workloads: latency vs offered load");
+  const DatasetSpec data = workload_dataset();
+  const ClusterSpec cspec = workload_cluster();
+  const auto ds = generate_dataset(data);
+  const double solo = solo_seconds(ds, data, cspec);
+  std::printf("mean solo mix query: %.4fs -> capacity ~%.3f q/s\n\n", solo,
+              1.0 / solo);
+
+  SeriesJson series("ablation_concurrency");
+  std::printf("%-6s | %9s %10s | %8s %8s %8s | %9s\n", "rho", "offered",
+              "through", "p50", "p95", "p99", "mean qw");
+  std::vector<LoadPoint> points;
+  for (const double rho : kRhos) {
+    const double per_client = rho / (3.0 * solo);
+    const WorkloadSpec spec = mixed_workload(data, per_client,
+                                             kQueriesPerClient);
+    LoadPoint pt;
+    pt.rho = rho;
+    pt.result = run_spec(ds, cspec, spec);
+    const WorkloadResult& r = pt.result;
+    std::printf("%-6.2f | %8.3f/s %8.3f/s | %8.3f %8.3f %8.3f | %9.4f\n",
+                rho, 3.0 * per_client, r.throughput, r.p50_latency,
+                r.p95_latency, r.p99_latency, r.mean_queue_wait);
+    series.add_row(strformat(
+        "{\"rho\":%.2f,\"offered_qps\":%.6f,\"throughput_qps\":%.6f,"
+        "\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f,\"completed\":%zu}",
+        rho, 3.0 * per_client, r.throughput, r.p50_latency, r.p95_latency,
+        r.p99_latency, r.completed));
+    points.push_back(std::move(pt));
+  }
+
+  // Overload (rho = 8) with a concurrency cap: unbounded queue vs the
+  // admission controller's bounded run queue with rejection.
+  const double overload = kRhos[4] / (3.0 * solo);
+  WorkloadSpec capped =
+      mixed_workload(data, overload, kOverloadQueriesPerClient);
+  capped.admission.max_running = 2;
+  const WorkloadResult unbounded = run_spec(ds, cspec, capped);
+  capped.admission.max_queued = 3;
+  const WorkloadResult bounded = run_spec(ds, cspec, capped);
+  std::printf("\noverload rho=8, 2 slots       | %8s %11s %9s\n", "p99 qw",
+              "p99 latency", "rejected");
+  std::printf("unbounded queue (no admission)| %8.3f %11.3f %9zu\n",
+              unbounded.p99_queue_wait, unbounded.p99_latency,
+              unbounded.rejected);
+  std::printf("bounded queue   (admission)   | %8.3f %11.3f %9zu\n",
+              bounded.p99_queue_wait, bounded.p99_latency, bounded.rejected);
+  series.add_row(strformat(
+      "{\"mode\":\"capped_unbounded\",\"p99_queue_wait\":%.6f,"
+      "\"p99\":%.6f,\"rejected\":%zu}",
+      unbounded.p99_queue_wait, unbounded.p99_latency, unbounded.rejected));
+  series.add_row(strformat(
+      "{\"mode\":\"capped_bounded\",\"p99_queue_wait\":%.6f,"
+      "\"p99\":%.6f,\"rejected\":%zu}",
+      bounded.p99_queue_wait, bounded.p99_latency, bounded.rejected));
+
+  std::printf("\nExpected shape: throughput tracks the offered rate until "
+              "the cluster\nsaturates, then plateaus while p99 latency "
+              "keeps climbing; at overload the\nbounded run queue sheds "
+              "load to hold p99 queue wait down where the unbounded\n"
+              "queue lets it grow with the backlog.\n\n");
+
+  if (!out_path.empty() && !series.write(out_path)) return 1;
+  if (!check) return 0;
+
+  bool ok = true;
+  // Low load is unsaturated: everything completes, nothing queues long.
+  for (const auto& pt : points) {
+    if (pt.result.completed != pt.result.submitted ||
+        pt.result.failed != 0) {
+      std::printf("FAIL: rho=%.2f lost queries (%zu/%zu, %zu failed)\n",
+                  pt.rho, pt.result.completed, pt.result.submitted,
+                  pt.result.failed);
+      ok = false;
+    }
+  }
+  // Throughput climbs out of light load...
+  if (points[2].result.throughput < 1.2 * points[0].result.throughput) {
+    std::printf("FAIL: throughput did not rise with load (%.4f -> %.4f)\n",
+                points[0].result.throughput, points[2].result.throughput);
+    ok = false;
+  }
+  // ...then saturates: doubling rho from 4 to 8 buys almost nothing.
+  if (points[4].result.throughput > 1.3 * points[3].result.throughput) {
+    std::printf("FAIL: no saturation: rho=8 throughput %.4f >> rho=4 %.4f\n",
+                points[4].result.throughput, points[3].result.throughput);
+    ok = false;
+  }
+  // p99 latency rises monotonically-in-shape with offered load.
+  if (points[4].result.p99_latency <= 1.2 * points[0].result.p99_latency) {
+    std::printf("FAIL: p99 flat under load (%.4f -> %.4f)\n",
+                points[0].result.p99_latency, points[4].result.p99_latency);
+    ok = false;
+  }
+  // Admission sheds load instead of queueing it.
+  if (bounded.rejected == 0 || unbounded.rejected != 0) {
+    std::printf("FAIL: rejection accounting (bounded %zu, unbounded %zu)\n",
+                bounded.rejected, unbounded.rejected);
+    ok = false;
+  }
+  if (bounded.p99_queue_wait >= 0.8 * unbounded.p99_queue_wait) {
+    std::printf("FAIL: bounded queue p99 wait %.4f not < 0.8 x unbounded "
+                "%.4f\n",
+                bounded.p99_queue_wait, unbounded.p99_queue_wait);
+    ok = false;
+  }
+  std::printf("%s: saturation %.4f->%.4f->%.4f q/s, p99 %.3f->%.3fs, "
+              "queue wait %.3f vs %.3fs (%zu rejected)\n",
+              ok ? "PASS" : "FAIL", points[0].result.throughput,
+              points[2].result.throughput, points[4].result.throughput,
+              points[0].result.p99_latency, points[4].result.p99_latency,
+              bounded.p99_queue_wait, unbounded.p99_queue_wait,
+              bounded.rejected);
+  return ok ? 0 : 1;
+}

@@ -707,9 +707,10 @@ double storage_read_total(Cluster& cluster) {
 
 }  // namespace
 
-QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
-                         const MetaDataService& meta, const JoinQuery& query,
-                         const QesOptions& options) {
+sim::Task<QesResult> grace_hash_task(Cluster& cluster, BdsService& bds,
+                                     const MetaDataService& meta,
+                                     const JoinQuery& query,
+                                     const QesOptions& options) {
   ORV_REQUIRE(!query.join_attrs.empty(), "join needs key attributes");
   auto& engine = cluster.engine();
 
@@ -781,13 +782,22 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
                                              &sh.done),
                            "gh-sampler");
   }
-  try {
-    engine.run();
-  } catch (...) {
+  // Join every process, observing all exceptions but surfacing the first
+  // (in spawn order — the same one Engine::run would rethrow after a
+  // single-query drain).
+  std::exception_ptr first_error;
+  for (const auto& h : handles) {
+    try {
+      co_await h.join();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) {
     // The query died (e.g. every compute node crashed): close the root
     // span so a failed query never leaves dangling spans behind.
     if (octx) octx->tracer.end_orphaned(sh.query_span);
-    throw;
+    std::rethrow_exception(first_error);
   }
   for (const auto& h : handles) {
     ORV_CHECK(h.done(), "GH process did not finish");
@@ -832,7 +842,15 @@ QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
     ctx->registry.gauge("gh.elapsed_seconds").set(result.elapsed);
   }
   if (octx) octx->tracer.end_at(sh.query_span, start + result.elapsed);
-  return result;
+  co_return result;
+}
+
+QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
+                         const MetaDataService& meta, const JoinQuery& query,
+                         const QesOptions& options) {
+  return qes_detail::run_query_task(
+      cluster.engine(), grace_hash_task(cluster, bds, meta, query, options),
+      "gh-query");
 }
 
 }  // namespace orv

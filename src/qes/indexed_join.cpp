@@ -675,10 +675,11 @@ sim::Task<> ij_supervisor(IjShared& sh,
 
 }  // namespace
 
-QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
-                           const MetaDataService& meta,
-                           const ConnectivityGraph& graph,
-                           const JoinQuery& query, const QesOptions& options) {
+sim::Task<QesResult> indexed_join_task(Cluster& cluster, BdsService& bds,
+                                       const MetaDataService& meta,
+                                       const ConnectivityGraph& graph,
+                                       const JoinQuery& query,
+                                       const QesOptions& options) {
   ORV_REQUIRE(!query.join_attrs.empty(), "join needs key attributes");
   auto& engine = cluster.engine();
 
@@ -758,7 +759,7 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
                            "ij-sampler");
   }
   try {
-    engine.run();
+    co_await sup.join();
   } catch (...) {
     // The query died (e.g. unrecoverable fault): close the root span so a
     // failed query never leaves dangling spans behind.
@@ -817,7 +818,17 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
       ctx->registry.gauge("ij.overlap_ratio").set(result.overlap_ratio);
     }
   }
-  return result;
+  co_return result;
+}
+
+QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
+                           const MetaDataService& meta,
+                           const ConnectivityGraph& graph,
+                           const JoinQuery& query, const QesOptions& options) {
+  return qes_detail::run_query_task(
+      cluster.engine(),
+      indexed_join_task(cluster, bds, meta, graph, query, options),
+      "ij-query");
 }
 
 }  // namespace orv

@@ -37,6 +37,8 @@ class Calibrator;
 
 namespace orv {
 
+struct ContentionFactors;  // cost/cost_model.hpp
+
 /// An equi-join view query: V = left ⊕_attrs right [WHERE ranges].
 struct JoinQuery {
   TableId left_table = 0;
@@ -108,6 +110,14 @@ struct QesOptions {
   /// owned and must outlive the planner calls that read it.
   bool use_calibration = false;
   obs::Calibrator* calibrator = nullptr;
+
+  /// Observed resource busy fractions at plan time (concurrent workloads):
+  /// when set, the planner derates the Table 1 bandwidth/CPU parameters by
+  /// the residual capacity (cost/cost_model.hpp's apply_contention) so plan
+  /// choice shifts under load. Default null — single-query plans and every
+  /// committed baseline are untouched. Not owned; must outlive the plan
+  /// call.
+  const ContentionFactors* contention = nullptr;
 
   std::uint64_t seed = 0;  // for randomized ablation strategies
 
@@ -194,6 +204,30 @@ QesResult run_indexed_join(Cluster& cluster, BdsService& bds,
 QesResult run_grace_hash(Cluster& cluster, BdsService& bds,
                          const MetaDataService& meta, const JoinQuery& query,
                          const QesOptions& options = {});
+
+/// Spawnable forms of the two algorithms: the whole query — worker spawn,
+/// supervision, result assembly — runs as one coroutine on the cluster's
+/// engine, so several queries can execute concurrently over the *shared*
+/// simulated resources within a single Engine::run. The run_* entry
+/// points above are thin wrappers (spawn one task, run the engine), and a
+/// single spawned task reproduces their timings and fingerprints exactly.
+/// All reference arguments must outlive the task.
+sim::Task<QesResult> indexed_join_task(Cluster& cluster, BdsService& bds,
+                                       const MetaDataService& meta,
+                                       const ConnectivityGraph& graph,
+                                       const JoinQuery& query,
+                                       const QesOptions& options);
+sim::Task<QesResult> grace_hash_task(Cluster& cluster, BdsService& bds,
+                                     const MetaDataService& meta,
+                                     const JoinQuery& query,
+                                     const QesOptions& options);
+
+namespace qes_detail {
+/// Spawns one query task and drives the engine until it drains; the
+/// single-query path shared by both run_* wrappers.
+QesResult run_query_task(sim::Engine& engine, sim::Task<QesResult> task,
+                         const char* name);
+}  // namespace qes_detail
 
 /// Reference result (no simulation): concatenates all matching sub-tables
 /// and runs one in-memory hash join. Tests compare both QES against this.

@@ -1,7 +1,39 @@
+#include <memory>
+
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "qes/qes.hpp"
 
 namespace orv {
+
+namespace qes_detail {
+
+namespace {
+struct ResultBox {
+  QesResult result;
+  bool have = false;
+};
+
+sim::Task<> capture_result(sim::Task<QesResult> inner,
+                           std::shared_ptr<ResultBox> box) {
+  box->result = co_await std::move(inner);
+  box->have = true;
+}
+}  // namespace
+
+QesResult run_query_task(sim::Engine& engine, sim::Task<QesResult> task,
+                         const char* name) {
+  // The box is shared with the coroutine frame: on a failed query the
+  // frame outlives this scope (it is destroyed with the engine), so a
+  // plain stack reference would dangle.
+  auto box = std::make_shared<ResultBox>();
+  engine.spawn(capture_result(std::move(task), box), name);
+  engine.run();
+  ORV_CHECK(box->have, "query task did not complete");
+  return std::move(box->result);
+}
+
+}  // namespace qes_detail
 
 SubTable filter_rows(const SubTable& st, const Schema& schema,
                      const std::vector<AttrRange>& ranges) {

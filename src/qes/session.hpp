@@ -1,0 +1,89 @@
+#pragma once
+
+// Multi-query QES session: runs many queries *concurrently* over one
+// shared simulated cluster within a single Engine::run. Each query is one
+// spawned coroutine (indexed_join_task / grace_hash_task); they contend
+// for the same storage disks, NICs, switch and compute CPUs, and — when
+// sharing is on — reuse one persistent Caching Service per compute node,
+// so overlapping queries finally produce real cross-query hit rates.
+//
+// Per-query state stays isolated: every query gets its own QesResult,
+// its own trace id (obs::ObsContext::next_trace_id), and its own Outcome
+// record. A query that faults is caught here — the exception is observed,
+// the failure lands in its Outcome, and every other in-flight query keeps
+// running.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "qes/qes.hpp"
+#include "qps/planner.hpp"
+
+namespace orv {
+
+struct SessionConfig {
+  /// One persistent CachingService per compute node, shared by every
+  /// query in the session (sub-tables cached raw; see
+  /// QesOptions::node_caches). Off = per-query private caches, the
+  /// single-query behaviour.
+  bool share_cache = true;
+  std::uint64_t cache_bytes = 0;  // per node; 0 = cluster memory size
+  CachePolicy cache_policy = CachePolicy::LRU;
+};
+
+class QesSession {
+ public:
+  using Config = SessionConfig;
+
+  /// What happened to one submitted query. `done` flips exactly once, when
+  /// the query's coroutine finishes (successfully or not).
+  struct Outcome {
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    Algorithm algorithm = Algorithm::IndexedJoin;
+    PlanDecision plan;
+    QesResult result;
+  };
+
+  QesSession(Cluster& cluster, BdsService& bds, const MetaDataService& meta,
+             Config config = {});
+
+  /// One query, start to finish, as a spawnable coroutine: plan (QPS cost
+  /// models, honouring options.contention when set), execute the chosen
+  /// algorithm on the shared cluster, deposit into `*out`. `force` pins
+  /// the algorithm (the plan is still recorded for its cost estimate).
+  /// Exceptions are captured into the outcome, never propagated — so a
+  /// faulted query cannot take down the engine run or its neighbours.
+  /// `out` must outlive the task.
+  sim::Task<> run_query(JoinQuery query, QesOptions options, Outcome* out,
+                        std::optional<Algorithm> force = {});
+
+  /// Connectivity graph for the query, memoized on (tables, attrs,
+  /// ranges) so repeated specs in a workload mix build it once.
+  const ConnectivityGraph& graph_for(const JoinQuery& query);
+
+  Cluster& cluster() { return cluster_; }
+  const QueryPlanner& planner() const { return planner_; }
+
+  /// The session's shared per-node caches (empty when share_cache is off).
+  const std::vector<std::shared_ptr<CachingService>>& node_caches() const {
+    return caches_;
+  }
+  /// Aggregated stats over the shared caches (all zero when sharing is
+  /// off). hits + misses always equals the number of lookups.
+  CachingService::Stats cache_totals() const;
+
+ private:
+  Cluster& cluster_;
+  BdsService& bds_;
+  const MetaDataService& meta_;
+  Config config_;
+  QueryPlanner planner_;
+  std::vector<std::shared_ptr<CachingService>> caches_;
+  std::map<std::string, std::unique_ptr<ConnectivityGraph>> graphs_;
+};
+
+}  // namespace orv

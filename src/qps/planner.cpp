@@ -44,6 +44,12 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
     d.params.bucket_pair_bytes = static_cast<double>(qes->bucket_pair_bytes);
     d.params.prefetch_lookahead =
         static_cast<double>(qes->prefetch_lookahead);
+    if (qes->contention != nullptr && qes->contention->any()) {
+      // Shared cluster under load: derate the idle-cluster parameters by
+      // the observed residual capacity before costing either algorithm.
+      d.params = apply_contention(d.params, *qes->contention);
+      stage.tag("contended", std::uint64_t{1});
+    }
   }
   d.pipelined = qes != nullptr && qes->pipelined();
   // Per-algorithm selection: the prefetcher only pipelines IJ, the spill
@@ -62,6 +68,11 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
     d.prior_ij = d.ij;
     d.prior_gh = d.gh;
     d.params = apply_calibration(d.params, qes->calibrator->state());
+    if (qes->contention != nullptr && qes->contention->any()) {
+      // The calibrator's learned bandwidths describe the same idle
+      // hardware; re-derate them for the load observed right now.
+      d.params = apply_contention(d.params, *qes->contention);
+    }
     d.ij = plan_ij_cost(d.params, qes);
     d.gh = plan_gh_cost(d.params, qes);
     d.chosen = d.ij.total() <= d.gh.total() ? Algorithm::IndexedJoin

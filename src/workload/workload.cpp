@@ -1,0 +1,324 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "common/strings.hpp"
+#include "obs/obs.hpp"
+
+namespace orv {
+
+namespace {
+
+/// One generated arrival, before execution.
+struct Arrival {
+  double time = 0;
+  std::size_t client = 0;
+  std::size_t mix_index = 0;
+  std::size_t index = 0;  // global submission index (assigned post-sort)
+};
+
+/// Expands every client's arrival process into one deterministic,
+/// time-sorted submission list. Each client gets an independent PRNG
+/// stream derived from (seed, client), so adding a client never perturbs
+/// another's arrivals.
+std::vector<Arrival> generate_arrivals(const WorkloadSpec& spec) {
+  std::vector<Arrival> all;
+  for (std::size_t c = 0; c < spec.clients.size(); ++c) {
+    const WorkloadClientSpec& cl = spec.clients[c];
+    ORV_REQUIRE(!cl.mix.empty(), "workload client needs a non-empty mix");
+    std::uint64_t sm = spec.seed ^ (0xC11E27ull * (c + 1));
+    Xoshiro256StarStar rng(splitmix64(sm));
+    double weight_total = 0;
+    for (const auto& q : cl.mix) weight_total += q.weight;
+    ORV_REQUIRE(weight_total > 0, "workload mix weights must sum > 0");
+    auto pick_mix = [&]() {
+      double r = rng.uniform01() * weight_total;
+      for (std::size_t m = 0; m + 1 < cl.mix.size(); ++m) {
+        r -= cl.mix[m].weight;
+        if (r < 0) return m;
+      }
+      return cl.mix.size() - 1;
+    };
+    if (!cl.trace_arrivals.empty()) {
+      for (double t : cl.trace_arrivals) {
+        all.push_back({t, c, pick_mix(), 0});
+      }
+      continue;
+    }
+    ORV_REQUIRE(cl.poisson_rate > 0,
+                "poisson_rate must be positive without a trace");
+    double t = 0;
+    for (std::size_t k = 0; k < cl.num_queries; ++k) {
+      t += -std::log(1.0 - rng.uniform01()) / cl.poisson_rate;
+      all.push_back({t, c, pick_mix(), 0});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.client < b.client;
+                   });
+  for (std::size_t i = 0; i < all.size(); ++i) all[i].index = i;
+  return all;
+}
+
+/// Everything the per-query coroutines share.
+struct Driver {
+  const WorkloadSpec& spec;
+  QesSession& session;
+  AdmissionController& admission;
+  ContentionMonitor& monitor;
+  const MetaDataService& meta;
+  double start = 0;  // engine time when the workload began
+  std::vector<QueryOutcome>* outcomes = nullptr;
+};
+
+void note_outcome(const QueryOutcome& out) {
+  auto* ctx = obs::context();
+  if (ctx == nullptr) return;
+  auto& reg = ctx->registry;
+  if (out.rejected) {
+    reg.counter("workload.rejected").add(1);
+    return;
+  }
+  if (out.failed) {
+    reg.counter("workload.failed").add(1);
+    return;
+  }
+  reg.counter("workload.completed").add(1);
+  if (out.degraded) reg.counter("workload.degraded").add(1);
+  if (out.deadline > 0) {
+    reg.counter(out.deadline_met ? "workload.deadline_met"
+                                 : "workload.deadline_missed")
+        .add(1);
+  }
+  reg.histogram("workload.latency_seconds").observe(out.latency());
+  reg.histogram("workload.queue_wait_seconds").observe(out.queue_wait());
+  reg.histogram("workload.service_seconds").observe(out.service());
+}
+
+/// One query, arrival to outcome. The coroutine never throws: rejection,
+/// execution failure and success all resolve into the outcome record, so
+/// the engine run always drains cleanly.
+sim::Task<> one_query(Driver& d, Arrival a) {
+  sim::Engine& engine = d.session.cluster().engine();
+  co_await engine.wait_until(d.start + a.time);
+
+  const WorkloadQuerySpec& qs = d.spec.clients[a.client].mix[a.mix_index];
+  QueryOutcome& out = (*d.outcomes)[a.index];
+  out.client = a.client;
+  out.index = a.index;
+  out.arrival = engine.now();
+  out.deadline = qs.deadline;
+
+  // Plan once up front: ShortestCostFirst needs the estimate before the
+  // queue, and the contention factors must live in this frame across the
+  // plan call.
+  ContentionFactors contention;
+  QesOptions options = d.spec.base_options;
+  if (d.spec.contention_aware) {
+    contention = d.monitor.sample();
+    options.contention = &contention;
+  }
+  const double cpu_factor =
+      options.cpu_work_factor > 0 ? 1.0 / options.cpu_work_factor : 1.0;
+  const PlanDecision pre = d.session.planner().plan(
+      d.meta, d.session.graph_for(qs.query), qs.query, cpu_factor, &options);
+  out.predicted = pre.predicted_seconds();
+
+  const bool admitted =
+      co_await d.admission.admit(a.client, pre.predicted_seconds());
+  if (!admitted) {
+    out.rejected = true;
+    out.deadline_met = false;
+    out.admit_time = out.finish = engine.now();
+    note_outcome(out);
+    co_return;
+  }
+  out.admit_time = engine.now();
+
+  if (d.spec.contention_aware) {
+    // Queue wait may have changed the picture; execute (and re-plan)
+    // against the load observed *now*.
+    contention = d.monitor.sample();
+  }
+  QesSession::Outcome so;
+  co_await d.session.run_query(qs.query, options, &so, qs.force);
+  out.finish = engine.now();
+  d.admission.release(a.client, out.service());
+
+  out.algorithm = algorithm_name(so.algorithm);
+  out.predicted = so.plan.predicted_seconds();
+  if (so.failed) {
+    out.failed = true;
+    out.error = so.error;
+    out.deadline_met = false;
+  } else {
+    out.result_tuples = so.result.result_tuples;
+    out.fingerprint = so.result.result_fingerprint;
+    out.degraded = so.result.degraded;
+    out.deadline_met = qs.deadline <= 0 || out.latency() <= qs.deadline;
+  }
+  note_outcome(out);
+}
+
+double exact_quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<double>(v.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  return v[rank > 0 ? rank - 1 : 0];
+}
+
+}  // namespace
+
+ContentionMonitor::ContentionMonitor(Cluster& cluster) : cluster_(cluster) {
+  if (cluster_.spec().shared_filesystem) {
+    n_disks_ = 1;
+  } else {
+    n_disks_ = cluster_.num_storage() + cluster_.num_compute();
+  }
+  n_nics_ = cluster_.num_storage() + cluster_.num_compute();
+  last_t_ = cluster_.engine().now();
+  last_disk_ = disk_busy_sum();
+  last_nic_ = nic_busy_sum();
+  last_switch_ = cluster_.network_switch().busy_time();
+  last_cpu_ = cpu_busy_sum();
+}
+
+double ContentionMonitor::disk_busy_sum() const {
+  if (cluster_.spec().shared_filesystem) {
+    return cluster_.storage_disk(0).busy_time();
+  }
+  double sum = 0;
+  for (std::size_t i = 0; i < cluster_.num_storage(); ++i) {
+    sum += cluster_.storage_disk(i).busy_time();
+  }
+  for (std::size_t j = 0; j < cluster_.num_compute(); ++j) {
+    sum += cluster_.compute_disk(j).busy_time();
+  }
+  return sum;
+}
+
+double ContentionMonitor::nic_busy_sum() const {
+  double sum = 0;
+  for (std::size_t i = 0; i < cluster_.num_storage(); ++i) {
+    sum += cluster_.storage_nic(i)->busy_time();
+  }
+  for (std::size_t j = 0; j < cluster_.num_compute(); ++j) {
+    sum += cluster_.compute_nic(j)->busy_time();
+  }
+  return sum;
+}
+
+double ContentionMonitor::cpu_busy_sum() const {
+  double sum = 0;
+  for (std::size_t j = 0; j < cluster_.num_compute(); ++j) {
+    sum += cluster_.compute_cpu(j).busy_time();
+  }
+  return sum;
+}
+
+ContentionFactors ContentionMonitor::sample() {
+  const double now = cluster_.engine().now();
+  const double disk = disk_busy_sum();
+  const double nic = nic_busy_sum();
+  const double sw = cluster_.network_switch().busy_time();
+  const double cpu = cpu_busy_sum();
+  ContentionFactors f;
+  const double dt = now - last_t_;
+  if (dt > 0) {
+    auto frac = [dt](double delta, double n) {
+      return std::clamp(delta / (dt * (n > 0 ? n : 1)), 0.0, 1.0);
+    };
+    f.disk_busy = frac(disk - last_disk_, static_cast<double>(n_disks_));
+    // The network path is limited by its most loaded hop: the switch, or
+    // the average endpoint NIC.
+    f.net_busy = std::max(frac(sw - last_switch_, 1.0),
+                          frac(nic - last_nic_, static_cast<double>(n_nics_)));
+    f.cpu_busy = frac(cpu - last_cpu_,
+                      static_cast<double>(cluster_.num_compute()));
+  }
+  last_t_ = now;
+  last_disk_ = disk;
+  last_nic_ = nic;
+  last_switch_ = sw;
+  last_cpu_ = cpu;
+  return f;
+}
+
+std::string WorkloadResult::to_string() const {
+  return strformat(
+      "workload: %zu submitted, %zu completed (%zu degraded), %zu rejected, "
+      "%zu failed, %zu deadlines missed | latency p50=%.3fs p95=%.3fs "
+      "p99=%.3fs | queue p99=%.3fs | makespan=%.3fs throughput=%.3f q/s",
+      submitted, completed, degraded, rejected, failed, deadlines_missed,
+      p50_latency, p95_latency, p99_latency, p99_queue_wait, makespan,
+      throughput);
+}
+
+WorkloadResult run_workload(Cluster& cluster, BdsService& bds,
+                            const MetaDataService& meta,
+                            const WorkloadSpec& spec) {
+  sim::Engine& engine = cluster.engine();
+  const std::vector<Arrival> arrivals = generate_arrivals(spec);
+
+  QesSession session(cluster, bds, meta, spec.session);
+  AdmissionController admission(engine, spec.admission);
+  ContentionMonitor monitor(cluster);
+
+  WorkloadResult result;
+  result.outcomes.resize(arrivals.size());
+  Driver driver{spec,    session, admission,
+                monitor, meta,    engine.now(),
+                &result.outcomes};
+  for (const Arrival& a : arrivals) {
+    engine.spawn(one_query(driver, a),
+                 strformat("wl-q%zu-c%zu", a.index, a.client));
+  }
+  engine.run();
+
+  result.submitted = arrivals.size();
+  std::vector<double> latencies;
+  std::vector<double> waits;
+  double last_finish = driver.start;
+  for (const QueryOutcome& out : result.outcomes) {
+    if (out.rejected) {
+      ++result.rejected;
+      continue;
+    }
+    if (out.failed) {
+      ++result.failed;
+      continue;
+    }
+    ++result.completed;
+    if (out.degraded) ++result.degraded;
+    if (out.deadline > 0 && !out.deadline_met) ++result.deadlines_missed;
+    latencies.push_back(out.latency());
+    waits.push_back(out.queue_wait());
+    result.mean_latency += out.latency();
+    result.mean_queue_wait += out.queue_wait();
+    last_finish = std::max(last_finish, out.finish);
+  }
+  if (result.completed > 0) {
+    const auto n = static_cast<double>(result.completed);
+    result.mean_latency /= n;
+    result.mean_queue_wait /= n;
+  }
+  result.p50_latency = exact_quantile(latencies, 0.50);
+  result.p95_latency = exact_quantile(latencies, 0.95);
+  result.p99_latency = exact_quantile(latencies, 0.99);
+  result.p99_queue_wait = exact_quantile(waits, 0.99);
+  result.makespan = last_finish - driver.start;
+  result.throughput = result.makespan > 0
+                          ? static_cast<double>(result.completed) /
+                                result.makespan
+                          : 0;
+  result.cache = session.cache_totals();
+  return result;
+}
+
+}  // namespace orv

@@ -1,0 +1,149 @@
+#pragma once
+
+// Open-loop concurrent workload driver (the SkyServer-style community
+// load the paper's DDS exists to serve): N clients submit streams of
+// IJ/GH queries into one QesSession over the shared simulated cluster.
+// Arrivals are open-loop on the *virtual* clock — Poisson with a
+// per-client rate, or an explicit trace of arrival times — so offered
+// load is independent of completion rate and queueing is real. Every
+// source of randomness flows through one seed; a workload replays
+// bit-identically.
+//
+// Each query's life cycle: arrive → plan (optionally contention-aware:
+// the planner sees live busy fractions sampled from the cluster) →
+// admission (bounded run queue, FIFO / shortest-cost / fair-share;
+// rejection = backpressure) → execute concurrently → SLO accounting
+// (queue wait vs service, deadline met/missed) into per-query outcomes,
+// exact latency quantiles, and the obs histogram registry.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "qes/session.hpp"
+#include "sched/admission.hpp"
+
+namespace orv {
+
+/// One entry of a client's query mix.
+struct WorkloadQuerySpec {
+  JoinQuery query;
+  /// Pin the algorithm; nullopt lets the QPS cost models choose.
+  std::optional<Algorithm> force;
+  /// Selection weight within the client's mix (relative).
+  double weight = 1.0;
+  /// SLO deadline in virtual seconds from *arrival*; 0 = no deadline.
+  double deadline = 0;
+};
+
+struct WorkloadClientSpec {
+  std::string name;
+  std::vector<WorkloadQuerySpec> mix;
+  /// Open-loop Poisson arrivals at this rate (queries per virtual
+  /// second); `num_queries` arrivals are generated.
+  double poisson_rate = 1.0;
+  std::size_t num_queries = 0;
+  /// Explicit arrival times (virtual seconds from workload start). When
+  /// non-empty this trace replaces the Poisson process.
+  std::vector<double> trace_arrivals;
+};
+
+struct WorkloadSpec {
+  std::uint64_t seed = 0;
+  std::vector<WorkloadClientSpec> clients;
+  AdmissionConfig admission;
+  QesSession::Config session;
+  /// Base execution options applied to every query (the session overlays
+  /// its shared caches; the driver overlays contention when enabled).
+  QesOptions base_options;
+  /// Re-plan each query against live busy fractions sampled from the
+  /// cluster at submission (cost/cost_model.hpp's apply_contention).
+  bool contention_aware = false;
+};
+
+/// SLO accounting for one submitted query.
+struct QueryOutcome {
+  std::size_t client = 0;
+  std::size_t index = 0;  // global submission index, arrival order
+  double arrival = 0;     // virtual time the query entered the system
+  double admit_time = 0;  // virtual time execution began
+  double finish = 0;      // virtual time the result (or failure) landed
+  double deadline = 0;    // absolute-from-arrival SLO; 0 = none
+
+  bool rejected = false;  // admission backpressure: never executed
+  bool failed = false;
+  bool degraded = false;       // completed, but leaned on fault recovery
+  bool deadline_met = true;    // false when rejected/failed or late
+  std::string algorithm;       // "IndexedJoin" / "GraceHash" / "" (rejected)
+  std::string error;
+  double predicted = 0;        // planner estimate for the executed plan
+  std::uint64_t result_tuples = 0;
+  std::uint64_t fingerprint = 0;
+
+  double queue_wait() const { return admit_time - arrival; }
+  double service() const { return finish - admit_time; }
+  double latency() const { return finish - arrival; }
+};
+
+struct WorkloadResult {
+  std::vector<QueryOutcome> outcomes;  // submission order
+
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  std::size_t degraded = 0;
+  std::size_t deadlines_missed = 0;  // among queries that had one
+
+  // Exact empirical quantiles over *completed* queries.
+  double mean_latency = 0;
+  double p50_latency = 0;
+  double p95_latency = 0;
+  double p99_latency = 0;
+  double mean_queue_wait = 0;
+  double p99_queue_wait = 0;
+
+  double makespan = 0;    // last completion time, virtual seconds
+  double throughput = 0;  // completed queries per virtual second
+
+  /// Aggregated shared-cache stats (zero when cache sharing is off).
+  CachingService::Stats cache;
+
+  std::string to_string() const;
+};
+
+/// Live busy fractions of the shared cluster, measured as busy-time
+/// deltas between samples (a pure read of Resource/Disk counters: no
+/// events are scheduled, so sampling never perturbs the simulation).
+class ContentionMonitor {
+ public:
+  explicit ContentionMonitor(Cluster& cluster);
+
+  /// Busy fractions over the window since the previous sample (or since
+  /// construction). A zero-length window yields all-zero factors.
+  ContentionFactors sample();
+
+ private:
+  double disk_busy_sum() const;
+  double nic_busy_sum() const;
+  double cpu_busy_sum() const;
+
+  Cluster& cluster_;
+  std::size_t n_disks_ = 0;
+  std::size_t n_nics_ = 0;
+  double last_t_ = 0;
+  double last_disk_ = 0;
+  double last_nic_ = 0;
+  double last_switch_ = 0;
+  double last_cpu_ = 0;
+};
+
+/// Runs the whole workload on the cluster's engine (one Engine::run) and
+/// blocks until every query resolved. Deterministic per (spec, cluster).
+WorkloadResult run_workload(Cluster& cluster, BdsService& bds,
+                            const MetaDataService& meta,
+                            const WorkloadSpec& spec);
+
+}  // namespace orv

@@ -33,6 +33,7 @@
 #include "obs/span.hpp"
 #include "qes/qes.hpp"
 #include "sim/engine.hpp"
+#include "workload/workload.hpp"
 
 namespace orv::chaos {
 
@@ -196,6 +197,48 @@ struct ChaosRig {
     return run_grace_hash(cluster, bds, ds.meta, query, options);
   }
 };
+
+/// Chaos × concurrency: runs a whole concurrent workload over the rig's
+/// dataset on a fresh engine, optionally under a FaultPlan — node crashes
+/// and I/O errors land while several queries are in flight. Each query's
+/// recovery is its own (supervisor rounds, retries), so every query must
+/// still resolve into its outcome record; the engine run always drains.
+/// With `capture` set, the whole run is traced and the span table
+/// deposited (sweeps assert zero open spans across all concurrent DAGs).
+inline WorkloadResult run_workload_under_plan(
+    const ChaosRig& rig, const WorkloadSpec& spec,
+    const fault::FaultPlan* plan,
+    ChaosRig::TraceCapture* capture = nullptr) {
+  // Same declaration-order contract as ChaosRig::run: clock and context
+  // outlive the engine so span guards unwound by ~Engine can stamp times.
+  obs::SimClock clock;
+  obs::ObsContext ctx(&clock);
+  WorkloadResult result;
+  {
+    sim::Engine engine;
+    clock.bind(engine);
+    struct Unbind {
+      obs::SimClock* clock;
+      ~Unbind() { clock->unbind(); }
+    } unbind{&clock};
+    std::optional<obs::ScopedInstall> install;
+    if (capture != nullptr) install.emplace(ctx);
+    Cluster cluster(engine, rig.sc.cspec);
+    BdsService bds(cluster, rig.ds.meta, rig.ds.stores);
+    std::optional<fault::FaultInjector> inj;
+    std::optional<fault::ScopedInjector> scoped;
+    if (plan != nullptr) {
+      inj.emplace(engine, *plan);
+      scoped.emplace(*inj);
+    }
+    result = run_workload(cluster, bds, rig.ds.meta, spec);
+  }
+  if (capture != nullptr) {
+    capture->spans = ctx.tracer.snapshot();
+    capture->open_spans = ctx.tracer.num_open_spans();
+  }
+  return result;
+}
 
 /// Failing-seed record: printed for one-command reproduction and appended
 /// to chaos_failures.txt (uploaded as a CI artifact).

@@ -1,0 +1,149 @@
+#pragma once
+
+// Deterministic interleaving harness (isolation2-style, per ROADMAP's
+// Cloudberry exemplar): a schedule pins exact virtual-time arrival points
+// and barrier steps for N named sessions, so a multi-query interleaving
+// over the shared cluster replays bit-identically.
+//
+//   std::vector<itl::ScheduleStep> sched;
+//   sched.push_back(itl::ScheduleStep{"s1"}.arrive(0.0).ij(query));
+//   sched.push_back(itl::ScheduleStep{"s2"}.arrive(1.5).gh(query));
+//   sched.push_back(itl::ScheduleStep{"s3"}.arrive(0.0)
+//                       .after("s1").after("s2").any(query));
+//   auto res = itl::run_schedule(rig, sched);
+//
+// Step "s3" is a barrier step: it starts only when both named
+// predecessors have *completed*, regardless of its arrival point. Every
+// step runs as one concurrent query inside a QesSession on the rig's
+// dataset; outcomes (per-step fingerprints and virtual start/finish
+// instants) and, when requested, the full span table come back for
+// replay-equality assertions.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "../chaos_util.hpp"
+#include "common/error.hpp"
+#include "obs/sim_clock.hpp"
+#include "qes/session.hpp"
+#include "sim/event.hpp"
+
+namespace orv::itl {
+
+struct ScheduleStep {
+  std::string name;
+  double at = 0;                   // virtual-time arrival point
+  std::vector<std::string> deps;   // barrier: wait for these completions
+  JoinQuery query;
+  std::optional<Algorithm> force;  // nullopt = planner decides
+
+  explicit ScheduleStep(std::string n) : name(std::move(n)) {}
+
+  ScheduleStep& arrive(double t) {
+    at = t;
+    return *this;
+  }
+  ScheduleStep& after(std::string dep) {
+    deps.push_back(std::move(dep));
+    return *this;
+  }
+  ScheduleStep& ij(JoinQuery q) {
+    query = std::move(q);
+    force = Algorithm::IndexedJoin;
+    return *this;
+  }
+  ScheduleStep& gh(JoinQuery q) {
+    query = std::move(q);
+    force = Algorithm::GraceHash;
+    return *this;
+  }
+  ScheduleStep& any(JoinQuery q) {
+    query = std::move(q);
+    force.reset();
+    return *this;
+  }
+};
+
+struct StepOutcome {
+  double start = 0;   // virtual instant the step's query began executing
+  double finish = 0;  // virtual instant it resolved
+  QesSession::Outcome outcome;
+};
+
+struct InterleaveResult {
+  std::map<std::string, StepOutcome> steps;
+  /// Full span table of the run (set when `capture_trace`); the replay
+  /// test asserts two runs produce identical tables, which implies
+  /// identical per-query trace DAGs.
+  std::vector<obs::SpanRecord> spans;
+  std::size_t open_spans = 0;
+  CachingService::Stats cache;
+};
+
+namespace detail {
+
+inline sim::Task<> run_step(QesSession& session, const ScheduleStep& step,
+                            std::map<std::string, sim::Event*>& done,
+                            StepOutcome& out) {
+  sim::Engine& engine = session.cluster().engine();
+  co_await engine.wait_until(step.at);
+  for (const auto& dep : step.deps) {
+    auto it = done.find(dep);
+    ORV_REQUIRE(it != done.end(),
+                "interleave step '" + step.name + "' waits on unknown '" +
+                    dep + "'");
+    co_await it->second->wait();
+  }
+  out.start = engine.now();
+  co_await session.run_query(step.query, {}, &out.outcome, step.force);
+  out.finish = engine.now();
+  done.at(step.name)->set();
+}
+
+}  // namespace detail
+
+/// Executes the schedule on a fresh engine/cluster over `rig`'s dataset.
+/// A circular barrier dependency surfaces as the engine's deadlock error.
+inline InterleaveResult run_schedule(const chaos::ChaosRig& rig,
+                                     const std::vector<ScheduleStep>& steps,
+                                     SessionConfig config = {},
+                                     bool capture_trace = false) {
+  InterleaveResult result;
+  obs::SimClock clock;
+  obs::ObsContext ctx(&clock);
+  sim::Engine engine;
+  clock.bind(engine);
+  std::optional<obs::ScopedInstall> install;
+  if (capture_trace) install.emplace(ctx);
+  {
+    Cluster cluster(engine, rig.sc.cspec);
+    BdsService bds(cluster, rig.ds.meta, rig.ds.stores);
+    QesSession session(cluster, bds, rig.ds.meta, config);
+
+    std::vector<std::unique_ptr<sim::Event>> events;
+    std::map<std::string, sim::Event*> done;
+    for (const auto& s : steps) {
+      events.push_back(std::make_unique<sim::Event>(engine));
+      ORV_REQUIRE(done.emplace(s.name, events.back().get()).second,
+                  "duplicate interleave step name '" + s.name + "'");
+      result.steps.emplace(s.name, StepOutcome{});
+    }
+    for (const auto& s : steps) {
+      engine.spawn(detail::run_step(session, s, done, result.steps.at(s.name)),
+                   "itl-" + s.name);
+    }
+    engine.run();
+    result.cache = session.cache_totals();
+  }
+  clock.unbind();
+  if (capture_trace) {
+    result.spans = ctx.tracer.snapshot();
+    result.open_spans = ctx.tracer.num_open_spans();
+  }
+  return result;
+}
+
+}  // namespace orv::itl
