@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "fault/fault.hpp"
+#include "net/aggregator.hpp"
 #include "obs/obs.hpp"
+#include "sim/event.hpp"
 
 namespace orv {
 
@@ -159,12 +161,31 @@ sim::Task<std::shared_ptr<const SubTable>> BdsInstance::fetch_to_compute(
       static_cast<double>(cm.location.size));
   const sim::Time extract_done = cluster_.storage_cpu(node_).reserve(
       extract_ops_per_byte_ * static_cast<double>(chunk_bytes.size()));
-  const sim::Time sent = cluster_.reserve_transfer(
-      node_, compute_node, static_cast<double>(st->size_bytes()));
-  // Nested max: a braced initializer_list here would hit a gcc-12
-  // coroutine-frame bug ("array used as initializer").
-  co_await cluster_.engine().wait_until(
-      std::max(read_done, std::max(extract_done, sent)));
+  auto* agg = net::context();
+  if (agg != nullptr && !cluster_.is_local(node_, compute_node)) {
+    // Aggregated reply: the egress (source NIC + switch) is charged by the
+    // combined frame that carries this reply, so co-destined replies share
+    // one per-message overhead. The deliver closure charges the compute
+    // NIC — the same byte totals the 3-hop reserve_transfer books.
+    const double ship_bytes = static_cast<double>(st->size_bytes());
+    auto delivered = std::make_shared<sim::Event>(cluster_.engine());
+    Cluster* cluster = &cluster_;
+    agg->post(node_, compute_node, ship_bytes, stage.id(),
+              [cluster, compute_node, ship_bytes,
+               delivered]() -> sim::Task<> {
+                co_await cluster->compute_ingress(compute_node, ship_bytes);
+                delivered->set();
+              });
+    co_await cluster_.engine().wait_until(std::max(read_done, extract_done));
+    co_await delivered->wait();
+  } else {
+    const sim::Time sent = cluster_.reserve_transfer(
+        node_, compute_node, static_cast<double>(st->size_bytes()));
+    // Nested max: a braced initializer_list here would hit a gcc-12
+    // coroutine-frame bug ("array used as initializer").
+    co_await cluster_.engine().wait_until(
+        std::max(read_done, std::max(extract_done, sent)));
+  }
 
   ++stats_.subtables_served;
   stats_.chunk_bytes_read += cm.location.size;
@@ -247,10 +268,27 @@ BdsInstance::fetch_batch_to_compute(std::vector<SubTableId> ids,
 
   const sim::Time extract_done = cluster_.storage_cpu(node_).reserve(
       extract_ops_per_byte_ * extract_bytes);
-  const sim::Time sent =
-      cluster_.reserve_transfer(node_, compute_node, shipped_bytes);
-  co_await cluster_.engine().wait_until(
-      std::max(read_done, std::max(extract_done, sent)));
+  auto* agg = net::context();
+  if (agg != nullptr && !cluster_.is_local(node_, compute_node)) {
+    // Same aggregated-reply shape as the single-chunk fetch: one posted
+    // logical message for the whole coalesced batch.
+    auto delivered = std::make_shared<sim::Event>(cluster_.engine());
+    Cluster* cluster = &cluster_;
+    agg->post(node_, compute_node, shipped_bytes, stage.id(),
+              [cluster, compute_node, shipped_bytes,
+               delivered]() -> sim::Task<> {
+                co_await cluster->compute_ingress(compute_node,
+                                                  shipped_bytes);
+                delivered->set();
+              });
+    co_await cluster_.engine().wait_until(std::max(read_done, extract_done));
+    co_await delivered->wait();
+  } else {
+    const sim::Time sent =
+        cluster_.reserve_transfer(node_, compute_node, shipped_bytes);
+    co_await cluster_.engine().wait_until(
+        std::max(read_done, std::max(extract_done, sent)));
+  }
 
   if (auto* ctx = obs::context()) {
     ctx->registry.counter("bds.coalesced_runs").add(num_runs);

@@ -57,8 +57,11 @@ Cluster::Cluster(sim::Engine& engine, ClusterSpec spec)
   for (std::size_t i = 0; i < spec_.num_storage; ++i) {
     storage_cpus_.push_back(std::make_unique<sim::Resource>(
         engine_, strformat("scpu%zu", i), hw.cpu_ops_per_sec));
+    // Storage NICs carry the per-frame overhead (hw.net_msg_overhead):
+    // senders pay it once per egress reservation, i.e. once per frame, so
+    // aggregating logical messages into fewer frames amortizes it.
     storage_nics_.push_back(std::make_unique<sim::Resource>(
-        engine_, strformat("snic%zu", i), hw.nic_bw));
+        engine_, strformat("snic%zu", i), hw.nic_bw, hw.net_msg_overhead));
   }
   for (std::size_t j = 0; j < spec_.num_compute; ++j) {
     compute_cpus_.push_back(std::make_unique<sim::Resource>(

@@ -39,6 +39,14 @@ struct HardwareProfile {
   double nic_bw = mbits_per_sec(100.0);     // Fast Ethernet per node
   double switch_bw = mbits_per_sec(1000.0); // aggregate backplane
 
+  /// Fixed per-message cost a storage NIC pays for every outgoing frame
+  /// (interrupt + protocol handling, the Grappa-style gamma the cost
+  /// model's msg_overhead mirrors). Charged as the storage NICs'
+  /// per-op latency, so it is paid once per *frame* — which is what makes
+  /// message aggregation (src/net) worth anything. Default 0: the paper's
+  /// testbed model and every committed baseline are untouched.
+  double net_msg_overhead = 0.0;
+
   /// Intra-node bus bandwidth for colocated storage/compute pairs
   /// (ClusterSpec::colocated): a local transfer bypasses NIC + switch and
   /// moves at memory/PCI speed instead. 2006-era PCI ~ 400 MB/s.

@@ -93,9 +93,17 @@ obs::QueryObservation make_observation(const CostParams& prior,
   o.read_bytes = result.scratch_read_bytes;
   o.read_seconds = gh_read;
 
+  // Gamma attribution counts what actually paid the per-message overhead:
+  // physical frames through the switch when the network aggregator ran
+  // (net.agg.frames), logical batches otherwise — with aggregation on,
+  // attributing per batch would underestimate gamma by the flush factor.
+  std::uint64_t batches = 0;
+  std::uint64_t frames = 0;
   for (const auto& [name, v] : ctx.registry.snapshot().counters) {
-    if (name == "gh.batches") o.messages = v;
+    if (name == "gh.batches") batches = v;
+    else if (name == "net.agg.frames") frames = v;
   }
+  o.messages = frames > 0 ? frames : batches;
   return o;
 }
 

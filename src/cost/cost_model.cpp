@@ -35,6 +35,10 @@ CostParams CostParams::from(const ClusterSpec& cluster,
   p.shared_filesystem = cluster.shared_filesystem;
   p.local_bw = cluster.colocated ? hw.local_bus_bw : 0.0;
   p.memory_bytes = static_cast<double>(hw.memory_bytes);
+  // The spec-sheet gamma: the simulated storage NICs charge this per
+  // frame, so plans price it from the start (0 on the default profiles;
+  // the calibrator can still refine it from observed runs).
+  p.msg_overhead = hw.net_msg_overhead;
   return p;
 }
 
@@ -78,12 +82,27 @@ double message_overhead_cost(const CostParams& p, double n_messages) {
 
 }  // namespace
 
+double gh_h1_messages(const CostParams& p) {
+  return total_bytes(p) / std::max(1.0, p.batch_bytes);
+}
+
+double gh_h1_frames(const CostParams& p) {
+  return gh_h1_messages(p) / std::max(1.0, p.agg_flush_batches);
+}
+
+double ij_fetch_messages(const CostParams& p) {
+  if (p.c_R <= 0 || p.c_S <= 0) return 0;
+  return p.T / p.c_R + p.T / p.c_S;
+}
+
 CostBreakdown ij_cost(const CostParams& p) {
   CostBreakdown c;
   c.transfer = ij_transfer_cost(p);
   if (p.msg_overhead > 0 && p.c_R > 0 && p.c_S > 0) {
-    // One request/response per sub-table fetch, m_R + m_S at minimum.
-    c.transfer += message_overhead_cost(p, p.T / p.c_R + p.T / p.c_S);
+    // One request/response per sub-table fetch; the overhead is paid per
+    // frame, i.e. per agg_flush_batches co-destined replies.
+    c.transfer += message_overhead_cost(
+        p, ij_fetch_messages(p) / std::max(1.0, p.agg_flush_batches));
   }
   c.cpu_build = p.alpha_build * p.T / p.n_j;
   c.cpu_lookup = p.alpha_lookup * p.n_e * p.c_S / p.n_j;
@@ -94,8 +113,9 @@ CostBreakdown gh_cost(const CostParams& p) {
   CostBreakdown c;
   c.transfer = transfer_cost(p);
   if (p.msg_overhead > 0 && p.batch_bytes > 0) {
-    // One h1 batch message per batch_bytes of shuffled records.
-    c.transfer += message_overhead_cost(p, total_bytes(p) / p.batch_bytes);
+    // One h1 batch message per batch_bytes of shuffled records, paid per
+    // frame of agg_flush_batches messages.
+    c.transfer += message_overhead_cost(p, gh_h1_frames(p));
   }
   // Bucket spill and re-read: n_j scratch disks, or the single shared
   // server (every bucket write/read funnels through it — Fig. 9).
@@ -139,8 +159,10 @@ CostBreakdown ij_cost_pipelined(const CostParams& p) {
 CostBreakdown gh_cost_pipelined(const CostParams& p) {
   CostBreakdown c = gh_cost(p);
   // Phase 1: the spill for batch k is written while batch k+1 streams in.
+  // Per-receiver batch count shares the h1 message derivation with gh_cost
+  // and run_grace_hash.
   const double per_node_bytes = total_bytes(p) / p.n_j;
-  const double n_batches = per_node_bytes / std::max(1.0, p.batch_bytes);
+  const double n_batches = gh_h1_messages(p) / p.n_j;
   c.overlap = stage_overlap(c.transfer, c.write, n_batches);
   // Phase 2: bucket k+1's scratch read is issued while bucket k joins.
   // Bucket count exactly as run_grace_hash derives it (Section 4.2: a

@@ -82,6 +82,12 @@ struct CostParams {
   // the default 0 every model reproduces the paper's formulas exactly.
   double msg_overhead = 0;
 
+  // Logical messages combined per physical network frame — the message
+  // aggregator's flush threshold (QesOptions::agg_flush_batches). The
+  // per-message overhead is paid per *frame*, so the msg term divides by
+  // this. 1 (default) prices the unaggregated network.
+  double agg_flush_batches = 1;
+
   double m_S() const { return T / c_S; }  // number of right sub-tables
   double edge_ratio() const { return n_e * c_R * c_S / (T * T); }
 
@@ -112,6 +118,20 @@ struct CostBreakdown {
   }
   std::string to_string() const;
 };
+
+/// Logical h1 batch messages the GH partition phase ships: one per
+/// batch_bytes of shuffled records — the same derivation run_grace_hash's
+/// Partitioner uses for its flush threshold (the executor sends slightly
+/// more because each sender's final per-destination flush may be partial).
+double gh_h1_messages(const CostParams& p);
+
+/// Physical frames those messages cross the switch in: the message count
+/// divided by agg_flush_batches. Equal to gh_h1_messages at the default
+/// threshold of 1 (no aggregation).
+double gh_h1_frames(const CostParams& p);
+
+/// Logical IJ fetch replies: one per sub-table fetch, m_R + m_S minimum.
+double ij_fetch_messages(const CostParams& p);
 
 CostBreakdown ij_cost(const CostParams& p);
 CostBreakdown gh_cost(const CostParams& p);

@@ -26,7 +26,8 @@ Stage classify_span(std::string_view name) {
   // Network: everything bounded by NIC / switch reservations.
   if (name == "bds.fetch" || name == "ij.fetch" || name == "gh.partition" ||
       name == "gh.repartition" || name == "gh.send" || name == "gh.ingest" ||
-      name == "gh.retransmit") {
+      name == "gh.retransmit" || name == "net.agg.flush" ||
+      name == "net.agg.retransmit") {
     return Stage::Network;
   }
   // Cpu: hash build / probe / bucket join work.

@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "fault/fault.hpp"
+#include "net/aggregator.hpp"
 #include "obs/obs.hpp"
 #include "qes/qes.hpp"
 #include "qes/sampler.hpp"
@@ -82,6 +83,11 @@ struct GhShared {
   std::uint64_t fetch_retries = 0;
   std::uint64_t rows_repartitioned = 0;
   std::uint64_t compute_nodes_lost = 0;
+
+  /// Logical h1 batch messages sent (the cost model's message count; the
+  /// physical frame count is read off the switch and is smaller when an
+  /// aggregator is installed).
+  std::uint64_t h1_messages_sent = 0;
 
   /// Per-receiver work accounting (skew diagnosis): busy seconds over both
   /// phases, h1 rows received, batch bytes ingested.
@@ -194,6 +200,23 @@ class Partitioner {
     auto* ctx = obs::context();
     obs::StageScope send_stage(ctx, "gh.send", parent_);
     batch.trace = obs::TraceContext{sh_.trace_id, send_stage.id()};
+    ++sh_.h1_messages_sent;
+    if (auto* agg = net::context()) {
+      // Aggregated path: hand the batch to the per-(src,dst) flow and
+      // return immediately. The aggregator charges one egress per combined
+      // frame (and rolls the fault dice per frame); the deliver closure
+      // runs after the frame crosses the switch. It reads the channel slot
+      // through sh_ at delivery time, so recovery-round channel swaps are
+      // safe — gh_storage/gh_repartition drain the node before the
+      // coordinator ever closes or swaps a round's channels.
+      auto payload = std::make_shared<Batch>(std::move(batch));
+      GhShared* sh = &sh_;
+      agg->post(src_, dest, batch_bytes, send_stage.id(),
+                [sh, dest, payload]() -> sim::Task<> {
+                  co_await sh->to_compute[dest]->send(std::move(*payload));
+                });
+      co_return;
+    }
     auto* inj = fault::context();
     std::uint64_t retransmits = 0;
     while (true) {
@@ -313,6 +336,12 @@ sim::Task<> gh_storage(GhShared& sh, std::size_t node, sim::Latch& done) {
   co_await stream_table(sh, node, sh.query.right_table, right_part,
                         stage.id());
   co_await right_part.flush_all();
+  if (auto* agg = net::context()) {
+    // Every posted batch must be in its destination channel before the
+    // coordinator learns this sender is done — otherwise it would close
+    // the round's channels under buffered messages.
+    co_await agg->drain(node);
+  }
   done.count_down();
 }
 
@@ -354,6 +383,11 @@ sim::Task<> gh_repartition(GhShared& sh, std::size_t node,
   co_await resend_table(sh, node, sh.query.right_table, right_part, prev_dead,
                         stage.id());
   co_await right_part.flush_all();
+  if (auto* agg = net::context()) {
+    // Same invariant as gh_storage: the coordinator joins this sender and
+    // then closes the round's channels, so drain before returning.
+    co_await agg->drain(node);
+  }
 }
 
 /// Closes compute channels once every storage sender finishes; with a
@@ -759,6 +793,7 @@ sim::Task<QesResult> grace_hash_task(Cluster& cluster, BdsService& bds,
 
   const double net0 = cluster.network_bytes();
   const double switch0 = cluster.switch_bytes();
+  const std::uint64_t frames0 = cluster.network_switch().num_ops();
   const double sread0 = storage_read_total(cluster);
   const double cw0 = scratch_bytes_written(cluster);
   const double cr0 = scratch_bytes_read_total(cluster);
@@ -821,6 +856,8 @@ sim::Task<QesResult> grace_hash_task(Cluster& cluster, BdsService& bds,
   result.storage_disk_read_bytes = storage_read_total(cluster) - sread0;
   result.scratch_write_bytes = scratch_bytes_written(cluster) - cw0;
   result.scratch_read_bytes = scratch_bytes_read_total(cluster) - cr0;
+  result.h1_messages_sent = sh.h1_messages_sent;
+  result.net_frames_sent = cluster.network_switch().num_ops() - frames0;
   result.fetch_retries = sh.fetch_retries;
   result.rows_repartitioned = sh.rows_repartitioned;
   result.compute_nodes_lost = sh.compute_nodes_lost;

@@ -98,6 +98,13 @@ struct QesOptions {
   /// phase pays max(Transfer, Write) / max(Read, Cpu) instead of the sum.
   bool gh_double_buffer = false;
 
+  /// Pricing-side flush threshold of the network message aggregator:
+  /// logical messages combined per physical frame. 0 (default) prices the
+  /// unaggregated network. This knob only feeds the cost model — the
+  /// executor is driven by the *installed* net::MessageAggregator, and the
+  /// planner/benches keep the two in sync.
+  std::size_t agg_flush_batches = 0;
+
   /// True when any overlap pipeline is enabled; the QPS selects the
   /// pipelined cost models iff this holds.
   bool pipelined() const { return prefetch_lookahead > 0 || gh_double_buffer; }
@@ -175,6 +182,13 @@ struct QesResult {
   /// Fraction of prefetch Transfer time hidden behind compute: 1 means the
   /// join loop never waited on a fetch, 0 means no overlap (serial).
   double overlap_ratio = 0;
+
+  // Network message accounting (GH fills these; zero elsewhere). Logical
+  // h1 batch messages are what the cost model counts; physical frames are
+  // switch operations, and the two differ exactly when a
+  // net::MessageAggregator is installed.
+  std::uint64_t h1_messages_sent = 0;
+  std::uint64_t net_frames_sent = 0;
 
   // Fault recovery accounting (all zero on a fault-free run).
   std::uint64_t fetch_retries = 0;       // BDS fetch attempts beyond the first

@@ -1,5 +1,7 @@
 #include "qps/planner.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 #include "cost/calibration.hpp"
 #include "obs/calibrate.hpp"
@@ -44,6 +46,10 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
     d.params.bucket_pair_bytes = static_cast<double>(qes->bucket_pair_bytes);
     d.params.prefetch_lookahead =
         static_cast<double>(qes->prefetch_lookahead);
+    if (qes->agg_flush_batches > 0) {
+      d.params.agg_flush_batches =
+          static_cast<double>(qes->agg_flush_batches);
+    }
     if (qes->contention != nullptr && qes->contention->any()) {
       // Shared cluster under load: derate the idle-cluster parameters by
       // the observed residual capacity before costing either algorithm.
@@ -81,6 +87,22 @@ PlanDecision QueryPlanner::plan(const ConnectivityStats& data,
   }
   stage.tag("chosen", std::string(algorithm_name(d.chosen)));
   return d;
+}
+
+std::size_t QueryPlanner::suggest_flush_batches(const CostParams& params,
+                                                std::size_t max_batches) {
+  CostParams p = params;
+  p.agg_flush_batches = 1;
+  if (p.msg_overhead <= 0) return 1;
+  for (std::size_t flush = 1;; flush *= 2) {
+    p.agg_flush_batches = static_cast<double>(flush);
+    const CostBreakdown c = gh_cost(p);
+    const double msg_term =
+        p.msg_overhead * gh_h1_frames(p) / std::max(1.0, p.n_s);
+    if (flush >= max_batches || msg_term <= 0.02 * c.total()) {
+      return std::min(flush, max_batches);
+    }
+  }
 }
 
 PlanDecision QueryPlanner::plan(const MetaDataService& meta,

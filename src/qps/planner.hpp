@@ -65,6 +65,13 @@ class QueryPlanner {
                     double cpu_factor = 1.0,
                     const QesOptions* qes = nullptr) const;
 
+  /// Picks a flush threshold for the network message aggregator: the
+  /// smallest power of two (up to `max_batches`) at which the per-frame
+  /// overhead term stops mattering — i.e. drops to <= 2% of the GH total.
+  /// Returns 1 (no aggregation) when msg_overhead is 0 or already cheap.
+  static std::size_t suggest_flush_batches(const CostParams& params,
+                                           std::size_t max_batches = 64);
+
   /// Runs the chosen algorithm.
   QesResult execute(const PlanDecision& decision, Cluster& cluster,
                     BdsService& bds, const MetaDataService& meta,

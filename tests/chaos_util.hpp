@@ -28,6 +28,7 @@
 #include "datagen/generator.hpp"
 #include "fault/fault.hpp"
 #include "graph/connectivity.hpp"
+#include "net/aggregator.hpp"
 #include "obs/obs.hpp"
 #include "obs/sim_clock.hpp"
 #include "obs/span.hpp"
@@ -116,6 +117,11 @@ struct ChaosRig {
   /// engine and deposits the tracer state here afterwards.
   TraceCapture* capture = nullptr;
 
+  /// When set, each run constructs (and scopes) a network message
+  /// aggregator with this config over its fresh cluster, so chaos and
+  /// differential sweeps can exercise the aggregated send paths.
+  const net::AggregatorConfig* agg = nullptr;
+
   explicit ChaosRig(std::uint64_t scenario_seed)
       : ChaosRig(make_scenario(scenario_seed)) {}
 
@@ -183,6 +189,12 @@ struct ChaosRig {
     if (ctx) install.emplace(*ctx);
     Cluster cluster(engine, sc.cspec);
     BdsService bds(cluster, ds.meta, ds.stores);
+    std::optional<net::MessageAggregator> aggregator;
+    std::optional<net::ScopedAggregator> scoped_agg;
+    if (agg != nullptr) {
+      aggregator.emplace(cluster, *agg);
+      scoped_agg.emplace(*aggregator);
+    }
     if (plan != nullptr) {
       fault::FaultInjector inj(engine, *plan);
       fault::ScopedInjector scoped(inj);
@@ -208,7 +220,8 @@ struct ChaosRig {
 inline WorkloadResult run_workload_under_plan(
     const ChaosRig& rig, const WorkloadSpec& spec,
     const fault::FaultPlan* plan,
-    ChaosRig::TraceCapture* capture = nullptr) {
+    ChaosRig::TraceCapture* capture = nullptr,
+    const net::AggregatorConfig* agg = nullptr) {
   // Same declaration-order contract as ChaosRig::run: clock and context
   // outlive the engine so span guards unwound by ~Engine can stamp times.
   obs::SimClock clock;
@@ -225,6 +238,12 @@ inline WorkloadResult run_workload_under_plan(
     if (capture != nullptr) install.emplace(ctx);
     Cluster cluster(engine, rig.sc.cspec);
     BdsService bds(cluster, rig.ds.meta, rig.ds.stores);
+    std::optional<net::MessageAggregator> aggregator;
+    std::optional<net::ScopedAggregator> scoped_agg;
+    if (agg != nullptr) {
+      aggregator.emplace(cluster, *agg);
+      scoped_agg.emplace(*aggregator);
+    }
     std::optional<fault::FaultInjector> inj;
     std::optional<fault::ScopedInjector> scoped;
     if (plan != nullptr) {

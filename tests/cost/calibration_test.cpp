@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "bds/bds.hpp"
 #include "datagen/generator.hpp"
 #include "graph/connectivity.hpp"
+#include "net/aggregator.hpp"
 #include "obs/obs.hpp"
 #include "obs/sim_clock.hpp"
 #include "obs/trace.hpp"
@@ -96,7 +99,8 @@ TEST(CalibrationBridge, MsgOverheadAppliesOnlyOnceObserved) {
 /// End-to-end reduction: run each algorithm instrumented on a small
 /// simulated cluster and check the observation carries physically
 /// consistent measurements.
-obs::QueryObservation observe_run(bool indexed_join) {
+obs::QueryObservation observe_run(
+    bool indexed_join, const net::AggregatorConfig* agg_cfg = nullptr) {
   DatasetSpec data;
   data.grid = {16, 16, 8};
   data.part1 = {4, 4, 4};
@@ -121,6 +125,12 @@ obs::QueryObservation observe_run(bool indexed_join) {
     obs::ScopedInstall install(ctx);
     Cluster cluster(engine, cspec);
     BdsService bds(cluster, ds.meta, ds.stores);
+    std::optional<net::MessageAggregator> agg;
+    std::optional<net::ScopedAggregator> scoped;
+    if (agg_cfg != nullptr) {
+      agg.emplace(cluster, *agg_cfg);
+      scoped.emplace(*agg);
+    }
     result = indexed_join
                  ? run_indexed_join(cluster, bds, ds.meta, graph, query, {})
                  : run_grace_hash(cluster, bds, ds.meta, query, {});
@@ -163,6 +173,19 @@ TEST(CalibrationBridge, GraceHashRunReducesToObservation) {
   EXPECT_GT(o.read_bytes, 0.0);
   EXPECT_GT(o.read_seconds, 0.0);
   EXPECT_GT(o.messages, 0u);  // gh.batches counter
+}
+
+TEST(CalibrationBridge, GammaAttributionCountsFramesUnderAggregation) {
+  // With the aggregator on, the per-message overhead is paid per *frame*,
+  // so the observation's message count must switch from gh.batches to
+  // net.agg.frames — attributing per batch would underestimate gamma by
+  // the flush factor.
+  const obs::QueryObservation plain = observe_run(false);
+  net::AggregatorConfig cfg;
+  cfg.flush_batches = 8;
+  const obs::QueryObservation aggregated = observe_run(false, &cfg);
+  EXPECT_GT(aggregated.messages, 0u);
+  EXPECT_LT(aggregated.messages, plain.messages);
 }
 
 TEST(CalibrationBridge, CalibratedStateFeedsBackIntoTheModel) {

@@ -173,6 +173,59 @@ TEST(Planner, ColocatedPlacementAffinityLowersPredictedIj) {
   EXPECT_DOUBLE_EQ(split_plan.ij.total(), base.ij.total());
 }
 
+TEST(Planner, AggFlushKnobFlowsIntoThePricedParams) {
+  DatasetSpec data;
+  data.grid = {32, 32, 32};
+  data.part1 = {8, 8, 8};
+  data.part2 = {8, 8, 8};
+  const auto stats = analyze(data);
+  ClusterSpec cspec;
+  cspec.hw.net_msg_overhead = 1e-3;
+  QueryPlanner planner(cspec);
+
+  QesOptions plain;
+  const auto base = planner.plan(stats, 16, 16, 1.0, &plain);
+  EXPECT_DOUBLE_EQ(base.params.agg_flush_batches, 1.0);
+
+  QesOptions agg;
+  agg.agg_flush_batches = 16;
+  const auto priced = planner.plan(stats, 16, 16, 1.0, &agg);
+  EXPECT_DOUBLE_EQ(priced.params.agg_flush_batches, 16.0);
+  // A nonzero gamma means aggregation makes GH strictly cheaper.
+  EXPECT_LT(priced.gh.total(), base.gh.total());
+}
+
+TEST(Planner, SuggestFlushBatchesTracksTheMessageOverhead) {
+  CostParams p;
+  p.T = 32768;
+  p.RS_R = 16;
+  p.RS_S = 16;
+  p.batch_bytes = 4096;
+  p.n_s = 4;
+  p.n_j = 4;
+  p.net_bw = 4e9;
+  p.read_io_bw = 1e9;
+  p.write_io_bw = 1e9;
+
+  // No gamma: nothing to amortize, no aggregation suggested.
+  p.msg_overhead = 0.0;
+  EXPECT_EQ(QueryPlanner::suggest_flush_batches(p), 1u);
+
+  // A heavy gamma pushes the suggestion up until the overhead term is
+  // under 2% of the total; a heavier one needs a larger flush.
+  p.msg_overhead = 1e-3;
+  const std::size_t light = QueryPlanner::suggest_flush_batches(p);
+  EXPECT_GT(light, 1u);
+  p.msg_overhead = 1e-2;
+  const std::size_t heavy = QueryPlanner::suggest_flush_batches(p);
+  EXPECT_GE(heavy, light);
+
+  // The cap is honored even for absurd overheads and odd caps.
+  p.msg_overhead = 10.0;
+  EXPECT_EQ(QueryPlanner::suggest_flush_batches(p), 64u);
+  EXPECT_LE(QueryPlanner::suggest_flush_batches(p, 24), 24u);
+}
+
 // Sweep: whatever the planner picks must indeed be the faster algorithm in
 // simulation (within a slack factor for model error) across shapes.
 struct PlanCase {
