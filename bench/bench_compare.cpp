@@ -5,6 +5,7 @@
 //
 //   bench_compare <baseline.json> <candidate.json>
 //                 [--tol default=0.05] [--tol <metric>=<frac>]...
+//                 [--json <report.json>]
 //
 // Files are the {"figure": "...", "rows": [{...}, ...]} shape SeriesJson
 // writes. Rows are matched by position; every metric present in either
@@ -13,6 +14,15 @@
 // match exactly. The simulator is deterministic, so the default 5% is
 // headroom for intentional model refinements, not run-to-run noise —
 // tighten or widen per metric with --tol.
+//
+// On a numeric violation the tool also *attributes* the regression: when
+// the failing metric's family (its prefix up to the first '_', e.g. "ij"
+// of ij_serial) has per-stage breakdown columns in the same row
+// (<family>_stage_transfer, <family>_stage_cpu, ...), the stage with the
+// largest relative delta between baseline and candidate is blamed on a
+// "BLAME" line. --json writes the full machine-readable report —
+// per-metric deltas on pass as well as fail, violations, and blame — for
+// CI artifact upload.
 //
 // The parser below is a deliberately small recursive-descent JSON reader
 // (objects, arrays, strings, numbers, true/false/null) so the tool stays
@@ -285,6 +295,71 @@ struct Tolerances {
   }
 };
 
+/// One numeric comparison, kept for the machine-readable report.
+struct MetricCheck {
+  std::string row;     // row label ("row 3 (ne_cs=8)")
+  std::string metric;
+  double base = 0, cand = 0;
+  double rel = 0;  // (cand - base) / |base|, 0 when base == 0
+  double tol = 0;
+  bool violated = false;
+};
+
+/// Regression attribution: the per-stage breakdown column blamed for one
+/// failing metric.
+struct Blame {
+  std::string row;
+  std::string metric;       // the violated metric
+  std::string stage;        // "transfer", "cpu", ...
+  std::string stage_metric; // "ij_stage_transfer"
+  double base = 0, cand = 0;
+  double rel = 0;
+};
+
+struct Report {
+  std::string figure;
+  std::size_t rows = 0;
+  std::size_t checked = 0;
+  int violations = 0;
+  std::vector<MetricCheck> checks;       // every numeric comparison
+  std::vector<std::string> mismatches;   // non-numeric / structural FAILs
+  std::vector<Blame> blames;
+};
+
+/// Attributes a failing numeric metric to the stage column with the
+/// largest relative delta in the same row. Returns false when the metric
+/// has no stage breakdown (no <family>_stage_* columns).
+bool attribute_blame(const JsonValue& brow, const JsonValue& crow,
+                     const std::string& row, const std::string& metric,
+                     Report* rep) {
+  const std::size_t us = metric.find('_');
+  if (us == std::string::npos) return false;
+  const std::string stage_prefix = metric.substr(0, us) + "_stage_";
+  Blame best;
+  bool found = false;
+  for (const auto& [k, bv] : brow.fields) {
+    if (k.rfind(stage_prefix, 0) != 0) continue;
+    if (bv->kind != JsonValue::Kind::Number) continue;
+    const JsonPtr* cv = crow.find(k);
+    if (!cv || (*cv)->kind != JsonValue::Kind::Number) continue;
+    const double b = bv->num, c = (*cv)->num;
+    const double scale = std::max(std::abs(b), 1e-12);
+    const double rel = (c - b) / scale;
+    if (!found || std::abs(rel) > std::abs(best.rel)) {
+      found = true;
+      best.row = row;
+      best.metric = metric;
+      best.stage = k.substr(stage_prefix.size());
+      best.stage_metric = k;
+      best.base = b;
+      best.cand = c;
+      best.rel = rel;
+    }
+  }
+  if (found) rep->blames.push_back(best);
+  return found;
+}
+
 std::string row_label(const JsonValue& row, std::size_t index) {
   // The leading field of every series row is its x-axis key (ne_cs, n_j,
   // ...); use it so violations name the point, not just the index.
@@ -299,16 +374,18 @@ std::string row_label(const JsonValue& row, std::size_t index) {
 }
 
 int compare(const JsonValue& base, const JsonValue& cand,
-            const Tolerances& tol) {
+            const Tolerances& tol, Report* rep) {
   int violations = 0;
   auto violate = [&](const std::string& what) {
     std::fprintf(stderr, "FAIL %s\n", what.c_str());
+    rep->mismatches.push_back(what);
     ++violations;
   };
 
   const JsonPtr* bfig = base.find("figure");
   const JsonPtr* cfig = cand.find("figure");
   const std::string bname = bfig ? (*bfig)->str : "?";
+  rep->figure = bname;
   if (!bfig || !cfig || (*bfig)->str != (*cfig)->str) {
     violate("figure mismatch: baseline=" + bname +
             " candidate=" + (cfig ? (*cfig)->str : "?"));
@@ -327,6 +404,7 @@ int compare(const JsonValue& base, const JsonValue& cand,
             std::to_string((*brows)->items.size()));
     return violations;
   }
+  rep->rows = (*brows)->items.size();
 
   std::size_t checked = 0;
   for (std::size_t i = 0; i < (*brows)->items.size(); ++i) {
@@ -359,15 +437,33 @@ int compare(const JsonValue& base, const JsonValue& cand,
         const double frac = tol.for_metric(key);
         const double scale = std::max(std::abs(b.num), std::abs(c.num));
         const double diff = std::abs(c.num - b.num);
+        MetricCheck chk;
+        chk.row = row_label(brow, i);
+        chk.metric = key;
+        chk.base = b.num;
+        chk.cand = c.num;
+        chk.rel = b.num != 0 ? (c.num - b.num) / std::abs(b.num) : 0.0;
+        chk.tol = frac;
         if (diff > frac * scale + 1e-12) {
+          chk.violated = true;
           char buf[256];
           std::snprintf(buf, sizeof(buf),
                         "%s: %s base=%.6g cand=%.6g (%+.2f%% > tol %.2f%%)",
                         label.c_str(), key.c_str(), b.num, c.num,
-                        b.num != 0 ? 100.0 * (c.num - b.num) / b.num : 0.0,
-                        100.0 * frac);
-          violate(buf);
+                        100.0 * chk.rel, 100.0 * frac);
+          std::fprintf(stderr, "FAIL %s\n", buf);
+          ++violations;
+          if (attribute_blame(brow, crow, chk.row, key, rep)) {
+            const Blame& bl = rep->blames.back();
+            std::fprintf(stderr,
+                         "BLAME %s: %s regressed in stage '%s' "
+                         "(%s base=%.6g cand=%.6g, %+.2f%%)\n",
+                         label.c_str(), key.c_str(), bl.stage.c_str(),
+                         bl.stage_metric.c_str(), bl.base, bl.cand,
+                         100.0 * bl.rel);
+          }
         }
+        rep->checks.push_back(std::move(chk));
       } else if (b.kind == JsonValue::Kind::String) {
         if (b.str != c.str) {
           violate(label + ": " + key + " \"" + b.str + "\" -> \"" + c.str +
@@ -382,14 +478,88 @@ int compare(const JsonValue& base, const JsonValue& cand,
     std::printf("OK %s: %zu rows, %zu metrics within tolerance\n",
                 bname.c_str(), (*brows)->items.size(), checked);
   }
+  rep->checked = checked;
+  rep->violations = violations;
   return violations;
+}
+
+// ------------------------------------------------------------- report --
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_report(const std::string& path, const std::string& baseline,
+                  const std::string& candidate, const Report& rep) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_compare: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << "{\n";
+  out << "  \"schema_version\": 3,\n";
+  out << "  \"baseline\": \"" << json_escape(baseline) << "\",\n";
+  out << "  \"candidate\": \"" << json_escape(candidate) << "\",\n";
+  out << "  \"figure\": \"" << json_escape(rep.figure) << "\",\n";
+  out << "  \"pass\": " << (rep.violations == 0 ? "true" : "false") << ",\n";
+  out << "  \"rows\": " << rep.rows << ",\n";
+  out << "  \"metrics_checked\": " << rep.checked << ",\n";
+  out << "  \"violations\": " << rep.violations << ",\n";
+  out << "  \"checks\": [";
+  for (std::size_t i = 0; i < rep.checks.size(); ++i) {
+    const MetricCheck& c = rep.checks[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"row\": \"" << json_escape(c.row) << "\", \"metric\": \""
+        << json_escape(c.metric) << "\", \"base\": " << json_num(c.base)
+        << ", \"cand\": " << json_num(c.cand)
+        << ", \"rel\": " << json_num(c.rel)
+        << ", \"tol\": " << json_num(c.tol) << ", \"violated\": "
+        << (c.violated ? "true" : "false") << "}";
+  }
+  out << (rep.checks.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"mismatches\": [";
+  for (std::size_t i = 0; i < rep.mismatches.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json_escape(rep.mismatches[i]) << "\"";
+  }
+  out << "],\n";
+  out << "  \"blame\": [";
+  for (std::size_t i = 0; i < rep.blames.size(); ++i) {
+    const Blame& b = rep.blames[i];
+    out << (i ? ",\n    " : "\n    ");
+    out << "{\"row\": \"" << json_escape(b.row) << "\", \"metric\": \""
+        << json_escape(b.metric) << "\", \"stage\": \""
+        << json_escape(b.stage) << "\", \"stage_metric\": \""
+        << json_escape(b.stage_metric) << "\", \"base\": "
+        << json_num(b.base) << ", \"cand\": " << json_num(b.cand)
+        << ", \"rel\": " << json_num(b.rel) << "}";
+  }
+  out << (rep.blames.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
 }
 
 void usage() {
   std::fprintf(stderr,
                "usage: bench_compare <baseline.json> <candidate.json>\n"
                "                     [--tol default=<frac>] "
-               "[--tol <metric>=<frac>]...\n");
+               "[--tol <metric>=<frac>]... [--json <report.json>]\n");
   std::exit(2);
 }
 
@@ -397,10 +567,14 @@ void usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::string json_path;
   Tolerances tol;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--tol") {
+    if (arg == "--json") {
+      if (i + 1 >= argc) usage();
+      json_path = argv[++i];
+    } else if (arg == "--tol") {
       if (i + 1 >= argc) usage();
       const std::string spec = argv[++i];
       const std::size_t eq = spec.find('=');
@@ -423,7 +597,9 @@ int main(int argc, char** argv) {
 
   const JsonPtr base = load(files[0]);
   const JsonPtr cand = load(files[1]);
-  const int violations = compare(*base, *cand, tol);
+  Report rep;
+  const int violations = compare(*base, *cand, tol, &rep);
+  if (!json_path.empty()) write_report(json_path, files[0], files[1], rep);
   if (violations > 0) {
     std::fprintf(stderr, "bench_compare: %d violation(s) against %s\n",
                  violations, files[0].c_str());

@@ -55,17 +55,24 @@ int main(int argc, char** argv) {
         p.sim_ij.elapsed, p.sim_gh.elapsed, r.model_ij.total(),
         r.model_gh.total(), algorithm_name(r.planned),
         ij_wins ? "IndexedJoin" : "GraceHash", diag.c_str());
+    // The *_stage_* columns are the serial-model critical-path breakdown
+    // bench_compare's regression attribution diffs when a gate fails.
     series.add_row(strformat(
         "{\"ne_cs\":%.0f,\"ij_serial\":%.6f,\"gh_serial\":%.6f,"
         "\"ij_pipelined\":%.6f,\"gh_pipelined\":%.6f,"
         "\"ij_model_serial\":%.6f,\"gh_model_serial\":%.6f,"
         "\"ij_model_pipelined\":%.6f,\"gh_model_pipelined\":%.6f,"
         "\"ij_overlap_ratio\":%.4f,"
-        "\"ij_error_ratio\":%.6f,\"gh_error_ratio\":%.6f}",
+        "\"ij_error_ratio\":%.6f,\"gh_error_ratio\":%.6f,"
+        "\"ij_stage_transfer\":%.6f,\"ij_stage_cpu\":%.6f,"
+        "\"gh_stage_transfer\":%.6f,\"gh_stage_write\":%.6f,"
+        "\"gh_stage_read\":%.6f,\"gh_stage_cpu\":%.6f}",
         r.ne_cs(), r.sim_ij.elapsed, r.sim_gh.elapsed, p.sim_ij.elapsed,
         p.sim_gh.elapsed, r.model_ij.total(), r.model_gh.total(),
         p.model_ij.total(), p.model_gh.total(), p.sim_ij.overlap_ratio,
-        r.ij_error_ratio(), r.gh_error_ratio()));
+        r.ij_error_ratio(), r.gh_error_ratio(), r.model_ij.transfer,
+        r.model_ij.cpu(), r.model_gh.transfer, r.model_gh.write,
+        r.model_gh.read, r.model_gh.cpu()));
   }
   std::printf("\nModel-predicted crossover: n_e*c_S = %.4g\n", crossover);
   std::printf("Expected paper shape: IJ below GH at small n_e*c_S, GH below "

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
@@ -166,20 +167,25 @@ void FaultInjector::maybe_fail_chunk_read(std::size_t storage_node) {
   if (rng_.uniform01() >= plan_.chunk_read_error_prob) return;
   ++stats_.io_errors_injected;
   publish("fault.injected.io");
+  obs::flight_note(engine_.now(), obs::FlightEvent::Kind::Fault,
+                   strformat("storage%zu", storage_node), "io_error");
   throw InjectedIoError(strformat(
       "injected transient I/O error reading chunk on storage node %zu "
       "(t=%.4f)",
       storage_node, engine_.now()));
 }
 
-FaultInjector::MessageAction FaultInjector::on_message(std::size_t /*src*/,
-                                                       std::size_t /*dst*/) {
+FaultInjector::MessageAction FaultInjector::on_message(std::size_t src,
+                                                       std::size_t dst) {
   MessageAction act;
   if (plan_.message_drop_prob > 0 &&
       rng_.uniform01() < plan_.message_drop_prob) {
     act.drop = true;
     ++stats_.messages_dropped;
     publish("fault.injected.drop");
+    obs::flight_note(engine_.now(), obs::FlightEvent::Kind::Fault, "net",
+                     "message_drop", 0,
+                     strformat("src=%zu dst=%zu", src, dst));
     return act;
   }
   if (plan_.message_delay_prob > 0 &&
@@ -187,6 +193,9 @@ FaultInjector::MessageAction FaultInjector::on_message(std::size_t /*src*/,
     act.delay = rng_.uniform(0.0, plan_.message_delay_max);
     ++stats_.messages_delayed;
     publish("fault.injected.delay");
+    obs::flight_note(engine_.now(), obs::FlightEvent::Kind::Fault, "net",
+                     "message_delay", act.delay,
+                     strformat("src=%zu dst=%zu", src, dst));
   }
   return act;
 }
@@ -199,11 +208,15 @@ void FaultInjector::note_crash_observed(NodeKind kind, std::size_t node) {
   seen[node] = true;
   ++stats_.node_crashes_observed;
   publish("fault.injected.crash");
+  obs::flight_note(engine_.now(), obs::FlightEvent::Kind::Fault,
+                   strformat("%s%zu", node_kind_name(kind), node), "crash");
 }
 
 void FaultInjector::note_retry() {
   ++retries_;
   if (auto* ctx = obs::context()) ctx->registry.counter("retry.attempts").add(1);
+  obs::flight_note(engine_.now(), obs::FlightEvent::Kind::Fault, "net",
+                   "retry");
 }
 
 }  // namespace orv::fault

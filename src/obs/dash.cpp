@@ -1,0 +1,15 @@
+#include "obs/dash.hpp"
+
+namespace orv::obs {
+
+JsonLinesWriter::JsonLinesWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {}
+
+void JsonLinesWriter::write(std::string_view json_object) {
+  if (!out_.is_open()) return;
+  out_ << json_object << "\n";
+  out_.flush();
+  ++lines_;
+}
+
+}  // namespace orv::obs

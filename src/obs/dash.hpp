@@ -1,0 +1,38 @@
+#pragma once
+
+// Live dashboard exporter: an append-only JSON-lines stream (one object
+// per line) written during workload runs when ORV_DASH names a file.
+// The workload driver composes each line (offered load, running/queued
+// depth, windowed latency quantiles, active alerts, node health); this
+// class only owns the file handle and the line framing, so it can be
+// pointed at a FIFO for actual live tailing or at a plain file for
+// post-hoc replay.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace orv::obs {
+
+class JsonLinesWriter {
+ public:
+  JsonLinesWriter() = default;
+  /// Opens (truncates) `path`; a failed open leaves the writer disabled
+  /// and every write() a no-op, so a bad ORV_DASH path degrades to "no
+  /// dashboard" instead of failing the run.
+  explicit JsonLinesWriter(const std::string& path);
+
+  bool enabled() const { return out_.is_open(); }
+  std::uint64_t lines() const { return lines_; }
+
+  /// Appends one pre-serialized JSON object plus the line terminator and
+  /// flushes (live consumers tail the file).
+  void write(std::string_view json_object);
+
+ private:
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace orv::obs

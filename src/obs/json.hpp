@@ -21,8 +21,10 @@ class ObsContext;
 /// report, Chrome trace). Bumped whenever an exporter's structure changes,
 /// so downstream consumers (CI smoke validators, plotting scripts) fail
 /// loudly on drift instead of silently misreading. History: 1 = original
-/// unversioned exporters, 2 = versioned + windowed metrics + diagnosis.
-inline constexpr std::uint64_t kObsSchemaVersion = 2;
+/// unversioned exporters, 2 = versioned + windowed metrics + diagnosis,
+/// 3 = monitor alerts + flight-recorder dumps + labeled Prometheus
+/// exposition.
+inline constexpr std::uint64_t kObsSchemaVersion = 3;
 
 /// Streaming writer; the caller is responsible for well-formed nesting
 /// (begin/end pairs). Keys and separators are emitted automatically.

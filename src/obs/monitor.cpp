@@ -1,0 +1,611 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace orv::obs {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Critical: return "critical";
+  }
+  return "?";
+}
+
+const char* selector_name(Selector s) {
+  switch (s) {
+    case Selector::CounterValue: return "counter";
+    case Selector::GaugeValue: return "gauge";
+    case Selector::WindowRate: return "rate";
+    case Selector::WindowTotal: return "wtotal";
+    case Selector::WindowP50: return "wp50";
+    case Selector::WindowP95: return "wp95";
+    case Selector::WindowP99: return "wp99";
+  }
+  return "?";
+}
+
+const char* cmp_name(Cmp c) {
+  switch (c) {
+    case Cmp::LT: return "<";
+    case Cmp::LE: return "<=";
+    case Cmp::GT: return ">";
+    case Cmp::GE: return ">=";
+  }
+  return "?";
+}
+
+bool cmp_eval(Cmp c, double value, double threshold) {
+  switch (c) {
+    case Cmp::LT: return value < threshold;
+    case Cmp::LE: return value <= threshold;
+    case Cmp::GT: return value > threshold;
+    case Cmp::GE: return value >= threshold;
+  }
+  return false;
+}
+
+Rule Rule::make_threshold(std::string name, Selector sel, std::string metric,
+                          Cmp cmp, double threshold, Severity sev) {
+  Rule r;
+  r.name = std::move(name);
+  r.severity = sev;
+  r.kind = RuleKind::Threshold;
+  r.selector = sel;
+  r.metric = std::move(metric);
+  r.cmp = cmp;
+  r.threshold = threshold;
+  return r;
+}
+
+Rule Rule::make_rate_of_change(std::string name, Selector sel,
+                               std::string metric, Cmp cmp, double per_second,
+                               Severity sev) {
+  Rule r = make_threshold(std::move(name), sel, std::move(metric), cmp,
+                          per_second, sev);
+  r.kind = RuleKind::RateOfChange;
+  return r;
+}
+
+Rule Rule::make_burn_rate(std::string name, std::string bad_metric,
+                          std::string total_metric, double budget,
+                          double short_window, double long_window,
+                          double threshold, Severity sev) {
+  ORV_REQUIRE(budget > 0, "burn-rate rule needs a positive error budget");
+  ORV_REQUIRE(short_window > 0 && long_window >= short_window,
+              "burn-rate windows must satisfy 0 < short <= long");
+  Rule r;
+  r.name = std::move(name);
+  r.severity = sev;
+  r.kind = RuleKind::BurnRate;
+  r.cmp = Cmp::GE;
+  r.threshold = threshold;
+  r.bad_metric = std::move(bad_metric);
+  r.total_metric = std::move(total_metric);
+  r.budget = budget;
+  r.short_window = short_window;
+  r.long_window = long_window;
+  return r;
+}
+
+std::string Rule::to_string() const {
+  switch (kind) {
+    case RuleKind::Threshold:
+      return strformat("%s : %s : %s(%s) %s %.9g", name.c_str(),
+                       severity_name(severity), selector_name(selector),
+                       metric.c_str(), cmp_name(cmp), threshold);
+    case RuleKind::RateOfChange:
+      return strformat("%s : %s : roc(%s(%s)) %s %.9g", name.c_str(),
+                       severity_name(severity), selector_name(selector),
+                       metric.c_str(), cmp_name(cmp), threshold);
+    case RuleKind::BurnRate:
+      return strformat(
+          "%s : %s : burn(%s, %s, budget=%.9g, short=%.9gs, long=%.9gs) "
+          ">= %.9g",
+          name.c_str(), severity_name(severity), bad_metric.c_str(),
+          total_metric.c_str(), budget, short_window, long_window, threshold);
+  }
+  return "?";
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_severity(std::string_view s, Severity* out) {
+  if (s == "info") *out = Severity::Info;
+  else if (s == "warning") *out = Severity::Warning;
+  else if (s == "critical") *out = Severity::Critical;
+  else return false;
+  return true;
+}
+
+bool parse_selector(std::string_view s, Selector* out) {
+  for (Selector sel :
+       {Selector::CounterValue, Selector::GaugeValue, Selector::WindowRate,
+        Selector::WindowTotal, Selector::WindowP50, Selector::WindowP95,
+        Selector::WindowP99}) {
+    if (s == selector_name(sel)) {
+      *out = sel;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_cmp(std::string_view s, Cmp* out) {
+  if (s == "<") *out = Cmp::LT;
+  else if (s == "<=") *out = Cmp::LE;
+  else if (s == ">") *out = Cmp::GT;
+  else if (s == ">=") *out = Cmp::GE;
+  else return false;
+  return true;
+}
+
+bool parse_number(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  *out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size();
+}
+
+/// Splits "expr CMP number" from the right: the comparator is the last
+/// '<'/'>' (optionally followed by '=') outside parentheses.
+bool split_comparison(std::string_view s, std::string_view* expr, Cmp* cmp,
+                      double* threshold) {
+  int depth = 0;
+  for (std::size_t i = s.size(); i-- > 0;) {
+    const char c = s[i];
+    if (c == ')') ++depth;
+    else if (c == '(') --depth;
+    else if (depth == 0 && (c == '<' || c == '>')) {
+      const bool eq = i + 1 < s.size() && s[i + 1] == '=';
+      if (!parse_cmp(s.substr(i, eq ? 2 : 1), cmp)) return false;
+      *expr = trim(s.substr(0, i));
+      return parse_number(trim(s.substr(i + (eq ? 2 : 1))), threshold);
+    }
+  }
+  return false;
+}
+
+/// "func(arg1, arg2, ...)" -> func name + raw args. Args never nest
+/// except roc(selector(metric)), handled by the caller.
+bool split_call(std::string_view s, std::string_view* func,
+                std::vector<std::string_view>* args) {
+  const std::size_t open = s.find('(');
+  if (open == std::string_view::npos || s.back() != ')') return false;
+  *func = trim(s.substr(0, open));
+  std::string_view inner = s.substr(open + 1, s.size() - open - 2);
+  args->clear();
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    const char c = inner[i];
+    if (c == '(') ++depth;
+    else if (c == ')') --depth;
+    else if (c == ',' && depth == 0) {
+      args->push_back(trim(inner.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  args->push_back(trim(inner.substr(start)));
+  return true;
+}
+
+/// "key=value" with an optional trailing unit suffix ("5s" -> 5).
+bool parse_kv_number(std::string_view s, std::string_view key, double* out) {
+  const std::size_t eq = s.find('=');
+  if (eq == std::string_view::npos || trim(s.substr(0, eq)) != key) {
+    return false;
+  }
+  std::string_view v = trim(s.substr(eq + 1));
+  if (!v.empty() && v.back() == 's') v.remove_suffix(1);
+  return parse_number(v, out);
+}
+
+}  // namespace
+
+std::optional<Rule> parse_rule(std::string_view line, std::string* error) {
+  if (error) error->clear();
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+  auto bad = [&](std::string why) -> std::optional<Rule> {
+    if (error) *error = std::move(why);
+    return std::nullopt;
+  };
+
+  const std::size_t c1 = line.find(':');
+  if (c1 == std::string_view::npos) return bad("missing ':' after rule name");
+  const std::size_t c2 = line.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return bad("missing ':' after severity");
+  const std::string_view name = trim(line.substr(0, c1));
+  if (name.empty()) return bad("empty rule name");
+  Severity sev;
+  if (!parse_severity(trim(line.substr(c1 + 1, c2 - c1 - 1)), &sev)) {
+    return bad("severity must be info|warning|critical");
+  }
+
+  std::string_view expr;
+  Cmp cmp;
+  double threshold = 0;
+  if (!split_comparison(trim(line.substr(c2 + 1)), &expr, &cmp, &threshold)) {
+    return bad("expected '<expr> <cmp> <number>'");
+  }
+
+  std::string_view func;
+  std::vector<std::string_view> args;
+  if (!split_call(expr, &func, &args)) {
+    return bad("expected '<selector>(<metric>)'");
+  }
+
+  if (func == "burn") {
+    if (cmp != Cmp::GE && cmp != Cmp::GT) {
+      return bad("burn rules compare with >= (budget burn is one-sided)");
+    }
+    if (args.size() != 5) {
+      return bad("burn(bad, total, budget=, short=, long=) needs 5 args");
+    }
+    double budget, short_w, long_w;
+    if (!parse_kv_number(args[2], "budget", &budget) ||
+        !parse_kv_number(args[3], "short", &short_w) ||
+        !parse_kv_number(args[4], "long", &long_w)) {
+      return bad("burn args: budget=<f>, short=<s>s, long=<s>s");
+    }
+    if (budget <= 0 || short_w <= 0 || long_w < short_w) {
+      return bad("burn needs budget > 0 and 0 < short <= long");
+    }
+    return Rule::make_burn_rate(std::string(name), std::string(args[0]),
+                                std::string(args[1]), budget, short_w, long_w,
+                                threshold, sev);
+  }
+
+  if (func == "roc") {
+    if (args.size() != 1) return bad("roc wraps exactly one selector call");
+    std::string_view inner_func;
+    std::vector<std::string_view> inner_args;
+    Selector sel;
+    if (!split_call(args[0], &inner_func, &inner_args) ||
+        inner_args.size() != 1 || !parse_selector(inner_func, &sel)) {
+      return bad("roc(<selector>(<metric>))");
+    }
+    return Rule::make_rate_of_change(std::string(name), sel,
+                                     std::string(inner_args[0]), cmp,
+                                     threshold, sev);
+  }
+
+  Selector sel;
+  if (!parse_selector(func, &sel)) {
+    return bad("unknown selector '" + std::string(func) + "'");
+  }
+  if (args.size() != 1 || args[0].empty()) {
+    return bad("selector takes exactly one metric name");
+  }
+  return Rule::make_threshold(std::string(name), sel, std::string(args[0]),
+                              cmp, threshold, sev);
+}
+
+std::vector<Rule> parse_rules(std::string_view text,
+                              std::vector<std::string>* errors) {
+  std::vector<Rule> rules;
+  std::size_t lineno = 0;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    ++lineno;
+    std::string err;
+    if (auto r = parse_rule(line, &err)) {
+      rules.push_back(std::move(*r));
+    } else if (!err.empty() && errors) {
+      errors->push_back(strformat("line %zu: %s", lineno, err.c_str()));
+    }
+  }
+  return rules;
+}
+
+std::string Alert::to_string() const {
+  std::string s = strformat("[%s] %s %s at t=%.6f: value=%.6g threshold=%.6g",
+                            severity_name(severity), rule.c_str(),
+                            resolved ? "resolved" : "fired", time, value,
+                            threshold);
+  for (const auto& [k, v] : evidence) s += " " + k + "=" + v;
+  return s;
+}
+
+// ------------------------------------------------------------ Monitor --
+
+Monitor::Monitor(Registry& registry, std::vector<Rule> rules)
+    : registry_(registry) {
+  states_.reserve(rules.size());
+  for (Rule& r : rules) {
+    RuleState st;
+    st.rule = std::move(r);
+    if (st.rule.kind == RuleKind::BurnRate) {
+      // 10 slots per window keeps slot-boundary quantization under 10% of
+      // the window while the ring stays tiny.
+      const double ss = st.rule.short_window / 10.0;
+      const double ls = st.rule.long_window / 10.0;
+      st.burn.short_bad = std::make_unique<WindowedCounter>(ss, 10);
+      st.burn.short_total = std::make_unique<WindowedCounter>(ss, 10);
+      st.burn.long_bad = std::make_unique<WindowedCounter>(ls, 10);
+      st.burn.long_total = std::make_unique<WindowedCounter>(ls, 10);
+    }
+    states_.push_back(std::move(st));
+  }
+}
+
+double Monitor::read_selector(Selector sel, const std::string& metric) const {
+  switch (sel) {
+    case Selector::CounterValue:
+      return static_cast<double>(registry_.counter(metric).value());
+    case Selector::GaugeValue:
+      return registry_.gauge(metric).value();
+    case Selector::WindowRate:
+      return registry_.windowed_counter(metric).rate();
+    case Selector::WindowTotal:
+      return static_cast<double>(
+          registry_.windowed_counter(metric).windowed_total());
+    case Selector::WindowP50:
+      return registry_.windowed_histogram(metric).merged().p50;
+    case Selector::WindowP95:
+      return registry_.windowed_histogram(metric).merged().p95;
+    case Selector::WindowP99:
+      return registry_.windowed_histogram(metric).merged().p99;
+  }
+  return 0;
+}
+
+void Monitor::transition(
+    RuleState& st, double now, double value,
+    std::vector<std::pair<std::string, std::string>> evidence) {
+  const bool firing = cmp_eval(st.rule.cmp, value, st.rule.threshold);
+  if (firing == st.active) return;
+  st.active = firing;
+  Alert a;
+  a.seq = next_seq_++;
+  a.time = now;
+  a.rule = st.rule.name;
+  a.severity = st.rule.severity;
+  a.resolved = !firing;
+  a.value = value;
+  a.threshold = st.rule.threshold;
+  a.evidence = std::move(evidence);
+  if (firing) {
+    ++fired_;
+    registry_.counter("alert.fired.rule." + st.rule.name).add(1);
+    registry_.counter("monitor.alerts.fired").add(1);
+  }
+  registry_.gauge("alert.active.rule." + st.rule.name).set(firing ? 1 : 0);
+  alerts_.push_back(a);
+  // The callback may dump the flight recorder or write a dash line; it
+  // must not mutate the monitor (evaluate is not reentrant).
+  if (on_alert_) on_alert_(alerts_.back());
+}
+
+void Monitor::evaluate(double now) {
+  for (RuleState& st : states_) {
+    const Rule& r = st.rule;
+    switch (r.kind) {
+      case RuleKind::Threshold: {
+        const double v = read_selector(r.selector, r.metric);
+        transition(st, now, v,
+                   {{r.metric, strformat("%.6g", v)},
+                    {"selector", selector_name(r.selector)}});
+        break;
+      }
+      case RuleKind::RateOfChange: {
+        const double v = read_selector(r.selector, r.metric);
+        double rate = 0;
+        if (st.has_prev && now > st.prev_time) {
+          rate = (v - st.prev_value) / (now - st.prev_time);
+        }
+        const bool had_prev = st.has_prev;
+        st.has_prev = true;
+        st.prev_value = v;
+        st.prev_time = now;
+        if (!had_prev) break;  // first sample has no derivative
+        transition(st, now, rate,
+                   {{r.metric, strformat("%.6g", v)},
+                    {"derivative_per_s", strformat("%.6g", rate)}});
+        break;
+      }
+      case RuleKind::BurnRate: {
+        // Mirror cumulative counter deltas into the rule's own
+        // short/long rings, then compare both windows' burn.
+        const double bad =
+            static_cast<double>(registry_.counter(r.bad_metric).value());
+        const double total =
+            static_cast<double>(registry_.counter(r.total_metric).value());
+        const auto d_bad =
+            static_cast<std::uint64_t>(std::max(0.0, bad - st.burn.prev_bad));
+        const auto d_total = static_cast<std::uint64_t>(
+            std::max(0.0, total - st.burn.prev_total));
+        st.burn.prev_bad = bad;
+        st.burn.prev_total = total;
+        // Always advance the rings, even with a zero delta: windowed
+        // totals are "as of last event", so a ring that stops receiving
+        // events would never decay and the alert could never resolve.
+        st.burn.short_bad->add(now, d_bad);
+        st.burn.long_bad->add(now, d_bad);
+        st.burn.short_total->add(now, d_total);
+        st.burn.long_total->add(now, d_total);
+        auto burn = [&r](const WindowedCounter& b, const WindowedCounter& t) {
+          const auto tt = t.windowed_total();
+          if (tt == 0) return 0.0;
+          const double frac =
+              static_cast<double>(b.windowed_total()) / static_cast<double>(tt);
+          return frac / r.budget;
+        };
+        const double burn_short =
+            burn(*st.burn.short_bad, *st.burn.short_total);
+        const double burn_long = burn(*st.burn.long_bad, *st.burn.long_total);
+        // Both windows must burn: the long window proves it is sustained,
+        // the short window proves it is still happening.
+        const double v = std::min(burn_short, burn_long);
+        transition(st, now, v,
+                   {{"short_burn", strformat("%.6g", burn_short)},
+                    {"long_burn", strformat("%.6g", burn_long)},
+                    {r.bad_metric, strformat("%.0f", bad)},
+                    {r.total_metric, strformat("%.0f", total)}});
+        break;
+      }
+    }
+  }
+}
+
+bool Monitor::active(std::string_view rule_name) const {
+  for (const RuleState& st : states_) {
+    if (st.rule.name == rule_name) return st.active;
+  }
+  return false;
+}
+
+std::vector<std::string> Monitor::active_rules() const {
+  std::vector<std::string> out;
+  for (const RuleState& st : states_) {
+    if (st.active) out.push_back(st.rule.name);
+  }
+  return out;
+}
+
+// -------------------------------------------------- NodeHealthTracker --
+
+NodeHealthTracker::NodeHealthTracker(Registry& registry,
+                                     std::size_t num_storage,
+                                     std::size_t num_compute,
+                                     NodeHealthConfig cfg)
+    : registry_(registry), cfg_(cfg) {
+  ORV_REQUIRE(cfg_.fault_window_seconds > 0,
+              "node health needs a positive fault window");
+  auto init = [&](std::vector<NodeState>& lane, std::size_t n) {
+    lane.resize(n);
+    for (NodeState& s : lane) {
+      s.faults = std::make_unique<WindowedCounter>(
+          cfg_.fault_window_seconds / 8.0, 8);
+    }
+  };
+  init(storage_, num_storage);
+  init(compute_, num_compute);
+}
+
+void NodeHealthTracker::note_fault(bool storage, std::size_t node,
+                                   double now) {
+  auto& l = lane(storage);
+  if (node >= l.size()) return;  // unknown node: ignore, never resize
+  l[node].faults->add(now, 1);
+}
+
+void NodeHealthTracker::observe_occupancy(bool storage, std::size_t node,
+                                          double busy_frac) {
+  auto& l = lane(storage);
+  if (node >= l.size()) return;
+  l[node].busy_frac = std::clamp(busy_frac, 0.0, 1.0);
+}
+
+void NodeHealthTracker::observe_query_work(
+    const std::vector<double>& busy_by_compute_node) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < busy_by_compute_node.size() &&
+                          j < compute_.size();
+       ++j) {
+    sum += busy_by_compute_node[j];
+    ++n;
+  }
+  if (n == 0) return;
+  const double mean = sum / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    compute_[j].straggler_dev =
+        mean > 0
+            ? std::max(0.0, (busy_by_compute_node[j] - mean) / mean)
+            : 0.0;
+  }
+}
+
+void NodeHealthTracker::recompute(NodeState& n, double now) {
+  // "As of now": a fault burst older than the window must decay even if
+  // no new fault arrived, so advance the ring with a zero-count event.
+  n.faults->add(now, 0);
+  const double faults =
+      static_cast<double>(n.faults->windowed_total());
+  const double fault_pen =
+      std::min(cfg_.fault_cap, cfg_.fault_weight * faults);
+  const double straggler_pen = std::min(
+      cfg_.straggler_cap,
+      std::max(0.0, n.straggler_dev - cfg_.straggler_start));
+  const double busy_pen =
+      std::min(cfg_.busy_cap, std::max(0.0, n.busy_frac - cfg_.busy_start));
+  n.score = std::clamp(1.0 - fault_pen - straggler_pen - busy_pen, 0.0, 1.0);
+}
+
+void NodeHealthTracker::publish(double now) {
+  min_health_ = 1.0;
+  auto walk = [&](std::vector<NodeState>& lane, const char* kind) {
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      recompute(lane[i], now);
+      registry_.gauge(strformat("node.health.node.%s%zu", kind, i))
+          .set(lane[i].score);
+      min_health_ = std::min(min_health_, lane[i].score);
+    }
+  };
+  walk(storage_, "storage");
+  walk(compute_, "compute");
+  registry_.gauge("node.health.min").set(min_health_);
+}
+
+double NodeHealthTracker::health(bool storage, std::size_t node) const {
+  const auto& l = storage ? storage_ : compute_;
+  return node < l.size() ? l[node].score : 1.0;
+}
+
+double NodeHealthTracker::min_health() const { return min_health_; }
+
+double NodeHealthTracker::capacity_fraction() const {
+  if (compute_.empty()) return 1.0;
+  double sum = 0;
+  for (const NodeState& n : compute_) sum += n.score;
+  return std::clamp(sum / static_cast<double>(compute_.size()), 0.0, 1.0);
+}
+
+std::vector<Rule> default_workload_rules(double slo_budget,
+                                         double p99_slo_seconds,
+                                         double node_alert_threshold) {
+  std::vector<Rule> rules;
+  rules.push_back(Rule::make_burn_rate(
+      "slo-burn", "workload.slo_missed", "workload.slo_total", slo_budget,
+      5.0, 60.0, 2.0, Severity::Critical));
+  rules.push_back(Rule::make_threshold(
+      "reject-rate", Selector::WindowRate, "workload.rejected", Cmp::GT, 0.0,
+      Severity::Warning));
+  rules.push_back(Rule::make_rate_of_change(
+      "queue-growth", Selector::GaugeValue, "workload.queue_depth", Cmp::GT,
+      2.0, Severity::Info));
+  rules.push_back(Rule::make_threshold(
+      "node-health", Selector::GaugeValue, "node.health.min", Cmp::LT,
+      node_alert_threshold, Severity::Critical));
+  if (p99_slo_seconds > 0) {
+    rules.push_back(Rule::make_threshold(
+        "latency-p99", Selector::WindowP99, "workload.latency_seconds",
+        Cmp::GT, p99_slo_seconds, Severity::Warning));
+  }
+  return rules;
+}
+
+}  // namespace orv::obs

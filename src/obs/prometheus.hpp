@@ -18,6 +18,21 @@ namespace orv::obs {
 /// '_'; a leading digit is prefixed with '_'.
 std::string prometheus_name(std::string_view name);
 
+/// Label extraction from dotted instrument names. The registry is flat,
+/// so labeled series use the convention `<family>.<key>.<value>` with
+/// key in {node, kind, rule} — e.g. `node.health.node.storage3` →
+/// family `node.health`, label node="storage3";
+/// `workload.completed.kind.IndexedJoin` → kind="IndexedJoin";
+/// `alert.active.rule.slo-burn` → rule="slo-burn". The *last* key
+/// segment with a non-empty family prefix and value suffix wins; names
+/// without one are unlabeled (key/value empty, family = name).
+struct PromLabel {
+  std::string family;
+  std::string key;
+  std::string value;
+};
+PromLabel prometheus_split_label(std::string_view name);
+
 /// Renders the whole snapshot in text exposition format. Every metric
 /// family is prefixed with "<prefix>_" (default "orv").
 std::string prometheus_text(const MetricsSnapshot& snap,

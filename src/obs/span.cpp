@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/flight.hpp"
 
 namespace orv::obs {
 
@@ -28,6 +29,14 @@ double Tracer::end_at(SpanId id, double at) {
   SpanRecord& rec = spans_[id.value - 1];
   if (rec.closed()) return rec.duration();
   rec.end = std::max(at, rec.start);
+  // Flight-recorder feed: one relaxed load when no recorder is installed
+  // (the default), so untraced/unmonitored runs pay nothing measurable.
+  if (flight_context() != nullptr) {
+    const std::string* node = rec.tag_value("node");
+    flight_note(rec.end, FlightEvent::Kind::SpanClose,
+                node != nullptr ? "n" + *node : std::string(), rec.name,
+                rec.duration());
+  }
   return rec.duration();
 }
 

@@ -126,6 +126,14 @@ struct QesOptions {
   /// call.
   const ContentionFactors* contention = nullptr;
 
+  /// Workload-driver integration: let the live monitor's per-node health
+  /// scores derate the admission controller's effective concurrency (sick
+  /// nodes shrink capacity instead of collecting queries that will
+  /// straggle). Default off — admission behaviour and every committed
+  /// baseline are byte-identical. Read by workload::run_workload, which
+  /// owns the NodeHealthTracker the controller consults.
+  bool health_aware_admission = false;
+
   std::uint64_t seed = 0;  // for randomized ablation strategies
 
   /// Optional per-result-fragment hook, invoked at the producing compute

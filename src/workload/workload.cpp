@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
 #include "common/strings.hpp"
+#include "obs/dash.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 
 namespace orv {
@@ -65,6 +69,142 @@ std::vector<Arrival> generate_arrivals(const WorkloadSpec& spec) {
   return all;
 }
 
+/// Live-monitoring state for one run: the rule monitor, node health,
+/// flight recorder and dashboard, plus the per-node occupancy sampling
+/// state (pure busy-time-delta reads, like ContentionMonitor).
+struct MonitorRig {
+  WorkloadMonitorOptions opt;
+  obs::Registry own_registry;        // used when no ObsContext is installed
+  obs::Registry* reg = nullptr;      // where all monitor telemetry lives
+  std::unique_ptr<obs::NodeHealthTracker> health;
+  std::unique_ptr<obs::Monitor> monitor;
+  std::unique_ptr<obs::FlightRecorder> own_flight;
+  obs::FlightRecorder* flight = nullptr;
+  std::unique_ptr<obs::ScopedFlight> scoped_flight;
+  obs::JsonLinesWriter dash;
+
+  // Occupancy sampling state (busy-time deltas between ticks).
+  double last_tick = 0;
+  std::vector<double> last_storage_busy;
+  std::vector<double> last_compute_busy;
+
+  // Fault events seen through the recorder's on_fault feed; a non-zero
+  // count forces an end-of-run dump so no injected fault escapes capture.
+  std::size_t fault_events = 0;
+};
+
+/// Parses the flight recorder's node attribution ("storage3" /
+/// "compute1") into the health tracker's (lane, index) form. "net" and
+/// "" are unattributed.
+bool parse_node_id(const std::string& s, bool* storage, std::size_t* node) {
+  std::string_view prefix;
+  if (s.rfind("storage", 0) == 0) {
+    *storage = true;
+    prefix = "storage";
+  } else if (s.rfind("compute", 0) == 0) {
+    *storage = false;
+    prefix = "compute";
+  } else {
+    return false;
+  }
+  const std::string digits = s.substr(prefix.size());
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *node = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Builds the monitor rig for one run, or returns null when monitoring is
+/// off. Env hooks (ORV_FLIGHT / ORV_DASH) and health-aware admission
+/// force it on.
+std::unique_ptr<MonitorRig> make_monitor_rig(Cluster& cluster,
+                                             const WorkloadSpec& spec) {
+  WorkloadMonitorOptions opt = spec.monitor;
+  if (const char* dir = std::getenv("ORV_FLIGHT");
+      dir != nullptr && *dir != '\0') {
+    opt.enabled = true;
+    if (opt.flight_dir.empty()) opt.flight_dir = dir;
+  }
+  if (const char* path = std::getenv("ORV_DASH");
+      path != nullptr && *path != '\0') {
+    opt.enabled = true;
+    if (opt.dash_path.empty()) opt.dash_path = path;
+  }
+  if (spec.base_options.health_aware_admission) opt.enabled = true;
+  if (!opt.enabled) return nullptr;
+
+  auto rig = std::make_unique<MonitorRig>();
+  rig->opt = opt;
+  auto* ctx = obs::context();
+  rig->reg = ctx != nullptr ? &ctx->registry : &rig->own_registry;
+  obs::Registry& reg = *rig->reg;
+
+  // Pre-create the windowed instruments with the rig's window geometry
+  // (slot parameters bind on first creation; later lookups reuse them).
+  const double win =
+      opt.hist_window_seconds > 0 ? opt.hist_window_seconds : 5.0;
+  const double slot = win / 20.0;
+  reg.windowed_counter("workload.completed", slot, 20);
+  reg.windowed_counter("workload.rejected", slot, 20);
+  reg.windowed_counter("workload.failed", slot, 20);
+  reg.windowed_histogram("workload.latency_seconds", obs::duration_bounds(),
+                         slot, 20);
+  reg.windowed_histogram("workload.queue_wait_seconds",
+                         obs::duration_bounds(), slot, 20);
+  reg.windowed_histogram("workload.service_seconds", obs::duration_bounds(),
+                         slot, 20);
+
+  rig->health = std::make_unique<obs::NodeHealthTracker>(
+      reg, cluster.num_storage(), cluster.num_compute(), opt.health);
+  rig->monitor = std::make_unique<obs::Monitor>(
+      reg,
+      !opt.rules.empty() ? opt.rules
+                         : obs::default_workload_rules(
+                               0.05, 0, opt.health.alert_threshold));
+
+  if (opt.flight != nullptr) {
+    rig->flight = opt.flight;
+  } else {
+    obs::FlightRecorder::Config fc;
+    fc.dump_dir = opt.flight_dir;
+    rig->own_flight = std::make_unique<obs::FlightRecorder>(fc);
+    rig->flight = rig->own_flight.get();
+  }
+  rig->scoped_flight = std::make_unique<obs::ScopedFlight>(*rig->flight);
+  MonitorRig* r = rig.get();
+  rig->flight->set_on_fault([r](const obs::FlightEvent& ev) {
+    ++r->fault_events;
+    bool storage = false;
+    std::size_t node = 0;
+    if (parse_node_id(ev.node, &storage, &node)) {
+      r->health->note_fault(storage, node, ev.time);
+    }
+  });
+  rig->monitor->set_on_alert([r](const obs::Alert& a) {
+    obs::flight_note(a.time, obs::FlightEvent::Kind::Alert, "", a.rule,
+                     a.resolved ? 0.0 : 1.0,
+                     obs::severity_name(a.severity));
+    if (!a.resolved) r->flight->dump("alert:" + a.rule, a.time);
+  });
+
+  if (!opt.dash_path.empty()) {
+    rig->dash = obs::JsonLinesWriter(opt.dash_path);
+  }
+
+  rig->last_tick = cluster.engine().now();
+  rig->last_storage_busy.resize(cluster.num_storage());
+  for (std::size_t i = 0; i < cluster.num_storage(); ++i) {
+    rig->last_storage_busy[i] = cluster.storage_nic(i)->busy_time();
+  }
+  rig->last_compute_busy.resize(cluster.num_compute());
+  for (std::size_t j = 0; j < cluster.num_compute(); ++j) {
+    rig->last_compute_busy[j] = cluster.compute_cpu(j).busy_time();
+  }
+  return rig;
+}
+
 /// Everything the per-query coroutines share.
 struct Driver {
   const WorkloadSpec& spec;
@@ -74,30 +214,167 @@ struct Driver {
   const MetaDataService& meta;
   double start = 0;  // engine time when the workload began
   std::vector<QueryOutcome>* outcomes = nullptr;
+  MonitorRig* mon = nullptr;
+
+  // Live tallies for the monitor/dashboard (submission-time view).
+  std::size_t total = 0;
+  std::size_t arrived = 0;
+  std::size_t resolved = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
 };
 
-void note_outcome(const QueryOutcome& out) {
-  auto* ctx = obs::context();
-  if (ctx == nullptr) return;
-  auto& reg = ctx->registry;
+void note_outcome(Driver& d, const QueryOutcome& out) {
+  const double t = out.finish;
+  if (auto* ctx = obs::context()) {
+    auto& reg = ctx->registry;
+    if (out.rejected) {
+      reg.counter("workload.rejected").add(1);
+    } else if (out.failed) {
+      reg.counter("workload.failed").add(1);
+    } else {
+      reg.counter("workload.completed").add(1);
+      if (out.degraded) reg.counter("workload.degraded").add(1);
+      if (out.deadline > 0) {
+        reg.counter(out.deadline_met ? "workload.deadline_met"
+                                     : "workload.deadline_missed")
+            .add(1);
+      }
+      reg.histogram("workload.latency_seconds").observe(out.latency());
+      reg.histogram("workload.queue_wait_seconds").observe(out.queue_wait());
+      reg.histogram("workload.service_seconds").observe(out.service());
+    }
+  }
+  if (d.mon == nullptr) return;
+  // Monitor telemetry: timestamped windowed instruments (rates, recent
+  // quantiles), the SLO counters the burn rule divides, and per-kind
+  // counters for the labeled Prometheus exposition. Instruments were
+  // pre-created with the rig's window parameters.
+  auto& reg = *d.mon->reg;
+  if (out.deadline > 0) {
+    reg.counter("workload.slo_total").add(1);
+    if (!out.deadline_met) reg.counter("workload.slo_missed").add(1);
+  }
   if (out.rejected) {
-    reg.counter("workload.rejected").add(1);
+    reg.windowed_counter("workload.rejected").add(t, 1);
     return;
   }
   if (out.failed) {
-    reg.counter("workload.failed").add(1);
+    reg.windowed_counter("workload.failed").add(t, 1);
+    if (!out.algorithm.empty()) {
+      reg.counter("workload.failed.kind." + out.algorithm).add(1);
+    }
     return;
   }
-  reg.counter("workload.completed").add(1);
-  if (out.degraded) reg.counter("workload.degraded").add(1);
-  if (out.deadline > 0) {
-    reg.counter(out.deadline_met ? "workload.deadline_met"
-                                 : "workload.deadline_missed")
-        .add(1);
+  reg.windowed_counter("workload.completed").add(t, 1);
+  if (!out.algorithm.empty()) {
+    reg.counter("workload.completed.kind." + out.algorithm).add(1);
   }
-  reg.histogram("workload.latency_seconds").observe(out.latency());
-  reg.histogram("workload.queue_wait_seconds").observe(out.queue_wait());
-  reg.histogram("workload.service_seconds").observe(out.service());
+  reg.windowed_histogram("workload.latency_seconds").observe(t, out.latency());
+  reg.windowed_histogram("workload.queue_wait_seconds")
+      .observe(t, out.queue_wait());
+  reg.windowed_histogram("workload.service_seconds").observe(t, out.service());
+}
+
+/// One monitor evaluation point: refresh the live gauges the rules read,
+/// publish node health, evaluate the rule set.
+void monitor_eval(Driver& d, double now) {
+  if (d.mon == nullptr) return;
+  auto& reg = *d.mon->reg;
+  reg.gauge("workload.offered").set(static_cast<double>(d.arrived));
+  reg.gauge("workload.queue_depth")
+      .set(static_cast<double>(d.admission.queued()));
+  reg.gauge("workload.running").set(static_cast<double>(d.admission.running()));
+  d.mon->health->publish(now);
+  d.mon->monitor->evaluate(now);
+}
+
+/// One dashboard JSON line (JSON-lines stream, ORV_DASH).
+void dash_emit(Driver& d, double now) {
+  MonitorRig& m = *d.mon;
+  if (!m.dash.enabled()) return;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("t");
+  w.value(now - d.start);
+  w.key("offered");
+  w.value(static_cast<std::uint64_t>(d.arrived));
+  w.key("running");
+  w.value(static_cast<std::uint64_t>(d.admission.running()));
+  w.key("queued");
+  w.value(static_cast<std::uint64_t>(d.admission.queued()));
+  w.key("completed");
+  w.value(static_cast<std::uint64_t>(d.completed));
+  w.key("rejected");
+  w.value(static_cast<std::uint64_t>(d.rejected));
+  w.key("failed");
+  w.value(static_cast<std::uint64_t>(d.failed));
+  w.key("completion_rate");
+  w.value(m.reg->windowed_counter("workload.completed").rate());
+  const auto lat =
+      m.reg->windowed_histogram("workload.latency_seconds").merged();
+  w.key("p50");
+  w.value(lat.p50);
+  w.key("p95");
+  w.value(lat.p95);
+  w.key("p99");
+  w.value(lat.p99);
+  w.key("alerts");
+  w.begin_array();
+  for (const std::string& r : m.monitor->active_rules()) w.value(r);
+  w.end_array();
+  w.key("node_health");
+  w.begin_array();
+  for (std::size_t i = 0; i < m.health->num_storage(); ++i) {
+    w.value(m.health->health(true, i));
+  }
+  for (std::size_t j = 0; j < m.health->num_compute(); ++j) {
+    w.value(m.health->health(false, j));
+  }
+  w.end_array();
+  w.end_object();
+  m.dash.write(w.str());
+}
+
+/// Per-node occupancy sampling: pure busy-time-delta reads, feeding the
+/// health tracker's busy fractions. Storage occupancy comes from the
+/// node's NIC (always per-node, even under a shared filesystem), compute
+/// occupancy from the node's CPU.
+void sample_occupancy(Driver& d, Cluster& cluster, double now) {
+  MonitorRig& m = *d.mon;
+  const double dt = now - m.last_tick;
+  if (dt <= 0) return;
+  for (std::size_t i = 0; i < cluster.num_storage(); ++i) {
+    const double busy = cluster.storage_nic(i)->busy_time();
+    m.health->observe_occupancy(
+        true, i, (busy - m.last_storage_busy[i]) / dt);
+    m.last_storage_busy[i] = busy;
+  }
+  for (std::size_t j = 0; j < cluster.num_compute(); ++j) {
+    const double busy = cluster.compute_cpu(j).busy_time();
+    m.health->observe_occupancy(
+        false, j, (busy - m.last_compute_busy[j]) / dt);
+    m.last_compute_busy[j] = busy;
+  }
+  m.last_tick = now;
+}
+
+/// The monitor tick: sleeps on the virtual clock, samples occupancy,
+/// evaluates rules, emits a dashboard line. Every input is a pure read,
+/// so the tick never perturbs query execution; the loop exits once all
+/// outcomes resolved so the engine run still drains.
+sim::Task<> monitor_tick(Driver& d, Cluster& cluster) {
+  sim::Engine& engine = cluster.engine();
+  const double tick = d.mon->opt.tick_seconds > 0 ? d.mon->opt.tick_seconds
+                                                  : 0.25;
+  while (d.resolved < d.total) {
+    co_await engine.sleep(tick);
+    const double now = engine.now();
+    sample_occupancy(d, cluster, now);
+    monitor_eval(d, now);
+    dash_emit(d, now);
+  }
 }
 
 /// One query, arrival to outcome. The coroutine never throws: rejection,
@@ -113,6 +390,7 @@ sim::Task<> one_query(Driver& d, Arrival a) {
   out.index = a.index;
   out.arrival = engine.now();
   out.deadline = qs.deadline;
+  ++d.arrived;
 
   // Plan once up front: ShortestCostFirst needs the estimate before the
   // queue, and the contention factors must live in this frame across the
@@ -135,7 +413,10 @@ sim::Task<> one_query(Driver& d, Arrival a) {
     out.rejected = true;
     out.deadline_met = false;
     out.admit_time = out.finish = engine.now();
-    note_outcome(out);
+    ++d.resolved;
+    ++d.rejected;
+    note_outcome(d, out);
+    monitor_eval(d, engine.now());
     co_return;
   }
   out.admit_time = engine.now();
@@ -156,13 +437,38 @@ sim::Task<> one_query(Driver& d, Arrival a) {
     out.failed = true;
     out.error = so.error;
     out.deadline_met = false;
+    ++d.failed;
   } else {
     out.result_tuples = so.result.result_tuples;
     out.fingerprint = so.result.result_fingerprint;
     out.degraded = so.result.degraded;
     out.deadline_met = qs.deadline <= 0 || out.latency() <= qs.deadline;
+    ++d.completed;
   }
-  note_outcome(out);
+  ++d.resolved;
+  note_outcome(d, out);
+  if (d.mon != nullptr) {
+    // Straggler deviation from this query's per-node busy breakdown.
+    if (!so.failed && !so.result.node_work.empty()) {
+      std::vector<double> busy;
+      for (const auto& nw : so.result.node_work) {
+        if (nw.node >= busy.size()) busy.resize(nw.node + 1, 0.0);
+        busy[nw.node] += nw.busy_seconds;
+      }
+      d.mon->health->observe_query_work(busy);
+    }
+    monitor_eval(d, engine.now());
+    // Degraded or failed queries are exactly the "something went wrong"
+    // moments the flight recorder exists for.
+    if ((out.failed || out.degraded) && d.mon->flight != nullptr) {
+      if (d.mon->flight->dump(
+              strformat("query-%s:%zu",
+                        out.failed ? "failed" : "degraded", out.index),
+              engine.now())) {
+        d.mon->reg->counter("flight.dumps").add(1);
+      }
+    }
+  }
 }
 
 double exact_quantile(std::vector<double> v, double q) {
@@ -269,17 +575,49 @@ WorkloadResult run_workload(Cluster& cluster, BdsService& bds,
   QesSession session(cluster, bds, meta, spec.session);
   AdmissionController admission(engine, spec.admission);
   ContentionMonitor monitor(cluster);
+  std::unique_ptr<MonitorRig> rig = make_monitor_rig(cluster, spec);
+  if (rig != nullptr && spec.base_options.health_aware_admission) {
+    admission.set_capacity_provider(
+        [h = rig->health.get()] { return h->capacity_fraction(); });
+  }
 
   WorkloadResult result;
   result.outcomes.resize(arrivals.size());
   Driver driver{spec,    session, admission,
                 monitor, meta,    engine.now(),
                 &result.outcomes};
+  driver.mon = rig.get();
+  driver.total = arrivals.size();
   for (const Arrival& a : arrivals) {
     engine.spawn(one_query(driver, a),
                  strformat("wl-q%zu-c%zu", a.index, a.client));
   }
+  if (rig != nullptr && !arrivals.empty()) {
+    engine.spawn(monitor_tick(driver, cluster), "wl-monitor");
+  }
   engine.run();
+
+  if (rig != nullptr) {
+    const double now = engine.now();
+    sample_occupancy(driver, cluster, now);
+    monitor_eval(driver, now);
+    dash_emit(driver, now);
+    // Guarantee every injected fault (and every page) is captured in at
+    // least one dump, even when the triggering query itself completed
+    // cleanly after retries.
+    if (rig->fault_events > 0 || rig->monitor->fired_count() > 0) {
+      rig->flight->dump("run-end", now);
+    }
+    result.alerts = rig->monitor->alerts();
+    for (std::size_t i = 0; i < rig->health->num_storage(); ++i) {
+      result.storage_health.push_back(rig->health->health(true, i));
+    }
+    for (std::size_t j = 0; j < rig->health->num_compute(); ++j) {
+      result.compute_health.push_back(rig->health->health(false, j));
+    }
+    result.flight_dumps = rig->flight->dumps().size();
+    result.dash_lines = rig->dash.lines();
+  }
 
   result.submitted = arrivals.size();
   std::vector<double> latencies;

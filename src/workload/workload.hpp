@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "obs/flight.hpp"
+#include "obs/monitor.hpp"
 #include "qes/session.hpp"
 #include "sched/admission.hpp"
 
@@ -50,6 +52,31 @@ struct WorkloadClientSpec {
   std::vector<double> trace_arrivals;
 };
 
+/// Live-monitoring configuration for one workload run. Monitoring is
+/// perturbation-free: every input is a pure read (busy-time deltas,
+/// registry snapshots) and the tick coroutine only sleeps, so outcomes
+/// with monitoring on are bit-identical to monitoring off.
+struct WorkloadMonitorOptions {
+  bool enabled = false;
+  /// Virtual seconds between monitor ticks (rule evaluation, occupancy
+  /// sampling, dashboard lines). Rules are additionally evaluated after
+  /// every query outcome, so alerting is not quantized to the tick.
+  double tick_seconds = 0.25;
+  /// Window of the driver's windowed latency/service histograms.
+  double hist_window_seconds = 5.0;
+  /// Rule set; empty selects obs::default_workload_rules().
+  std::vector<obs::Rule> rules;
+  obs::NodeHealthConfig health;
+  /// Flight-recorder dump directory (also set via ORV_FLIGHT); empty
+  /// keeps dumps in memory only.
+  std::string flight_dir;
+  /// Dashboard JSON-lines path (also set via ORV_DASH).
+  std::string dash_path;
+  /// Test hook: use this recorder instead of an internally owned one
+  /// (not owned; must outlive the run).
+  obs::FlightRecorder* flight = nullptr;
+};
+
 struct WorkloadSpec {
   std::uint64_t seed = 0;
   std::vector<WorkloadClientSpec> clients;
@@ -61,6 +88,10 @@ struct WorkloadSpec {
   /// Re-plan each query against live busy fractions sampled from the
   /// cluster at submission (cost/cost_model.hpp's apply_contention).
   bool contention_aware = false;
+  /// Live monitor / flight recorder / dashboard (ORV_DASH and ORV_FLIGHT
+  /// enable this implicitly). base_options.health_aware_admission also
+  /// forces it on: the admission controller needs the health tracker.
+  WorkloadMonitorOptions monitor;
 };
 
 /// SLO accounting for one submitted query.
@@ -110,6 +141,15 @@ struct WorkloadResult {
 
   /// Aggregated shared-cache stats (zero when cache sharing is off).
   CachingService::Stats cache;
+
+  // Live-monitor products (empty / zero when monitoring is off).
+  /// Every alert transition in deterministic firing order.
+  std::vector<obs::Alert> alerts;
+  /// Final per-node health scores at the last monitor evaluation.
+  std::vector<double> storage_health;
+  std::vector<double> compute_health;
+  std::size_t flight_dumps = 0;
+  std::size_t dash_lines = 0;
 
   std::string to_string() const;
 };

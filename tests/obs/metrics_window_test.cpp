@@ -192,5 +192,209 @@ TEST(Prometheus, CustomPrefix) {
   EXPECT_EQ(text.find("orv_"), std::string::npos);
 }
 
+// ------------------------------------------- ring wrap-around edges
+
+TEST(WindowedCounterTest, RingWrapAroundKeepsOnlyWindowSlots) {
+  // 4-slot ring, events across 10 slot epochs: every write past slot 3
+  // wraps and reuses indices. Totals must always be the in-window sum,
+  // no matter how many times the ring wrapped.
+  WindowedCounter wc(1.0, 4);
+  for (int e = 0; e < 10; ++e) {
+    wc.add(static_cast<double>(e) + 0.5, 1);
+  }
+  // Window ends at epoch 9: epochs 6..9 are in range.
+  EXPECT_EQ(wc.windowed_total(), 4u);
+  EXPECT_DOUBLE_EQ(wc.rate(), 1.0);
+}
+
+TEST(WindowedCounterTest, SparseWrapSkipsStaleEpochs) {
+  // A gap larger than the ring leaves stale slots whose *index* is in
+  // range but whose epoch is not; they must read as zero.
+  WindowedCounter wc(1.0, 4);
+  wc.add(0.5, 100);   // epoch 0
+  wc.add(9.5, 1);     // epoch 9 — same ring index as epoch... irrelevant
+  wc.add(6.6, 50);    // late event in epoch 6, still inside the window
+  EXPECT_EQ(wc.windowed_total(), 51u);
+}
+
+TEST(WindowedCounterTest, EventOnExactSlotBoundary) {
+  // t = k * slot_seconds sits on the boundary between epochs k-1 and k;
+  // floor() places it in epoch k, so a snapshot straddling the boundary
+  // keeps both events distinct.
+  WindowedCounter wc(1.0, 2);  // 2s window
+  wc.add(1.0, 3);  // epoch 1 exactly
+  wc.add(2.0, 4);  // epoch 2 exactly: window now epochs {1, 2}
+  EXPECT_EQ(wc.windowed_total(), 7u);
+  wc.add(3.0, 5);  // window slides to {2, 3}; the epoch-1 slot expires
+  EXPECT_EQ(wc.windowed_total(), 9u);
+}
+
+TEST(WindowedHistogramTest, RingWrapAroundDropsOverwrittenSlots) {
+  WindowedHistogram wh({1.0, 10.0}, 1.0, 4);
+  for (int e = 0; e < 8; ++e) {
+    wh.observe(static_cast<double>(e) + 0.5,
+               static_cast<double>(e));  // one sample per epoch
+  }
+  const auto m = wh.merged();  // window = epochs 4..7
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.min, 4.0);
+  EXPECT_DOUBLE_EQ(m.max, 7.0);
+  EXPECT_DOUBLE_EQ(m.sum, 4.0 + 5.0 + 6.0 + 7.0);
+}
+
+TEST(WindowedHistogramTest, SnapshotStraddlingSlotBoundary) {
+  // Observations on either side of a slot boundary: the merge must see
+  // both slots until the window slides past the older one.
+  WindowedHistogram wh({1.0, 2.0, 4.0}, 0.5, 2);  // 1s window
+  wh.observe(0.49, 1.5);  // slot epoch 0
+  wh.observe(0.51, 3.0);  // slot epoch 1
+  auto m = wh.merged();
+  EXPECT_EQ(m.count, 2u);
+  EXPECT_DOUBLE_EQ(m.min, 1.5);
+  wh.observe(1.01, 0.5);  // epoch 2: epoch 0 (the 1.5 sample) expires
+  m = wh.merged();
+  EXPECT_EQ(m.count, 2u);
+  EXPECT_DOUBLE_EQ(m.min, 0.5);
+  EXPECT_DOUBLE_EQ(m.max, 3.0);
+}
+
+TEST(WindowedHistogramTest, EmptyWindowMergesToZeros) {
+  WindowedHistogram wh({1.0}, 0.5, 4);
+  const auto m = wh.merged();  // no observations at all
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_DOUBLE_EQ(m.p50, 0.0);
+  EXPECT_DOUBLE_EQ(m.p99, 0.0);
+  EXPECT_DOUBLE_EQ(m.sum, 0.0);
+}
+
+TEST(WindowedHistogramTest, PartialWindowQuantilesUseOnlyLiveSlots) {
+  // Only one slot of a 4-slot window has data ("partial window"): the
+  // quantiles must come from that slot alone, not read stale memory.
+  WindowedHistogram wh({1.0, 2.0, 4.0}, 0.5, 4);
+  wh.observe(0.1, 1.5);
+  const auto m = wh.merged();
+  EXPECT_EQ(m.count, 1u);
+  EXPECT_GE(m.p50, 1.0);
+  EXPECT_LE(m.p50, 2.0);
+  EXPECT_DOUBLE_EQ(m.p50, m.p99);  // single sample: all quantiles agree
+}
+
+// ------------------------------------------------ label extraction
+
+TEST(PrometheusLabels, SplitConvention) {
+  auto lab = prometheus_split_label("workload.completed.kind.IndexedJoin");
+  EXPECT_EQ(lab.family, "workload.completed");
+  EXPECT_EQ(lab.key, "kind");
+  EXPECT_EQ(lab.value, "IndexedJoin");
+
+  lab = prometheus_split_label("node.health.node.storage3");
+  EXPECT_EQ(lab.family, "node.health");  // leading "node." is not a label
+  EXPECT_EQ(lab.key, "node");
+  EXPECT_EQ(lab.value, "storage3");
+
+  lab = prometheus_split_label("alert.active.rule.slo-burn");
+  EXPECT_EQ(lab.family, "alert.active");
+  EXPECT_EQ(lab.key, "rule");
+  EXPECT_EQ(lab.value, "slo-burn");
+
+  lab = prometheus_split_label("workload.slo_missed");  // unlabeled
+  EXPECT_EQ(lab.family, "workload.slo_missed");
+  EXPECT_TRUE(lab.key.empty());
+}
+
+TEST(PrometheusLabels, LabeledSeriesShareOneFamily) {
+  Registry reg;
+  reg.counter("workload.completed").add(10);
+  reg.counter("workload.completed.kind.IndexedJoin").add(7);
+  reg.counter("workload.completed.kind.GraceHash").add(3);
+  reg.gauge("node.health.node.storage0").set(1.0);
+  reg.gauge("node.health.node.compute1").set(0.25);
+  reg.gauge("alert.active.rule.slo-burn").set(1.0);
+  const std::string text = prometheus_text(reg.snapshot());
+
+  EXPECT_NE(text.find("orv_workload_completed_total 10"), std::string::npos);
+  EXPECT_NE(
+      text.find("orv_workload_completed_total{kind=\"IndexedJoin\"} 7"),
+      std::string::npos);
+  EXPECT_NE(text.find("orv_workload_completed_total{kind=\"GraceHash\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_node_health{node=\"storage0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_node_health{node=\"compute1\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(text.find("orv_alert_active{rule=\"slo-burn\"} 1"),
+            std::string::npos);
+  // Exactly one TYPE line per family, even with several labeled series.
+  std::size_t type_count = 0;
+  const std::string needle = "# TYPE orv_workload_completed_total counter";
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + 1)) {
+    ++type_count;
+  }
+  EXPECT_EQ(type_count, 1u);
+}
+
+// Round trip: parse the rendered exposition back into (family, labels,
+// value) samples and check it reproduces the registry contents exactly.
+TEST(PrometheusLabels, ExpositionRoundTrip) {
+  Registry reg;
+  reg.counter("workload.slo_total").add(40);
+  reg.counter("workload.slo_missed").add(3);
+  reg.counter("workload.completed.kind.IndexedJoin").add(25);
+  reg.counter("alert.fired.rule.slo-burn").add(1);
+  reg.gauge("node.health.node.storage0").set(0.4);
+  reg.gauge("node.health.min").set(0.4);
+  reg.gauge("alert.active.rule.slo-burn").set(1.0);
+
+  struct Sample {
+    std::string family, key, value;
+    double num = 0;
+  };
+  std::vector<Sample> samples;
+  const std::string text = prometheus_text(reg.snapshot());
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    Sample s;
+    s.num = std::stod(line.substr(sp + 1));
+    std::string name = line.substr(0, sp);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      const std::size_t eq = name.find('=', brace);
+      ASSERT_NE(eq, std::string::npos) << line;
+      s.key = name.substr(brace + 1, eq - brace - 1);
+      s.value = name.substr(eq + 2, name.size() - eq - 4);  // ="..."}
+      name = name.substr(0, brace);
+    }
+    s.family = name;
+    samples.push_back(std::move(s));
+  }
+
+  auto expect_sample = [&](const std::string& family, const std::string& key,
+                           const std::string& value, double num) {
+    for (const Sample& s : samples) {
+      if (s.family == family && s.key == key && s.value == value) {
+        EXPECT_DOUBLE_EQ(s.num, num) << family;
+        return;
+      }
+    }
+    ADD_FAILURE() << "sample not found: " << family << "{" << key << "="
+                  << value << "}";
+  };
+  expect_sample("orv_workload_slo_total_total", "", "", 40);
+  expect_sample("orv_workload_slo_missed_total", "", "", 3);
+  expect_sample("orv_workload_completed_total", "kind", "IndexedJoin", 25);
+  expect_sample("orv_alert_fired_total", "rule", "slo-burn", 1);
+  expect_sample("orv_node_health", "node", "storage0", 0.4);
+  expect_sample("orv_node_health_min", "", "", 0.4);
+  expect_sample("orv_alert_active", "rule", "slo-burn", 1);
+}
+
 }  // namespace
 }  // namespace orv::obs
